@@ -1,0 +1,140 @@
+// Command dagsim runs a single synthetic-DAG scenario on the simulated
+// platform and prints throughput, per-core work time and the priority-task
+// placement histogram. It is the quickest way to poke at one scheduling
+// configuration.
+//
+// Examples:
+//
+//	dagsim -policy DAM-C -kernel matmul -parallelism 2 -interfere corun
+//	dagsim -policy RWS -kernel copy -interfere dvfs -tasks 5000
+//	dagsim -policy DAM-P -platform haswell16 -interfere none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/machine"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
+	"dynasym/internal/trace"
+	"dynasym/internal/workloads"
+)
+
+func main() {
+	var (
+		policyName  = flag.String("policy", "DAM-C", "scheduling policy (RWS, RWSM-C, FA, FAM-C, DA, DAM-C, DAM-P, dHEFT)")
+		kernelName  = flag.String("kernel", "matmul", "kernel: matmul, copy, stencil")
+		platform    = flag.String("platform", "tx2", "platform: tx2, haswell16, sym8")
+		parallelism = flag.Int("parallelism", 4, "DAG parallelism (tasks per layer)")
+		tasks       = flag.Int("tasks", 10000, "total tasks")
+		tile        = flag.Int("tile", 0, "tile size (0 = kernel default)")
+		scenario    = flag.String("interfere", "corun", "interference: none, corun, memory, dvfs")
+		share       = flag.Float64("share", 0.5, "victim core availability under co-run")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		alpha       = flag.Float64("alpha", 0, "PTT new-sample weight (0 = paper's 1/5)")
+		traceOut    = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the schedule to this file")
+	)
+	flag.Parse()
+
+	pol, err := core.ByName(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	var topo *topology.Platform
+	switch *platform {
+	case "tx2":
+		topo = topology.TX2()
+	case "haswell16":
+		topo = topology.Haswell16()
+	case "sym8":
+		topo = topology.Symmetric(8)
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platform))
+	}
+	var kernel workloads.KernelKind
+	switch strings.ToLower(*kernelName) {
+	case "matmul":
+		kernel = workloads.MatMul
+	case "copy":
+		kernel = workloads.Copy
+	case "stencil":
+		kernel = workloads.Stencil
+	default:
+		fatal(fmt.Errorf("unknown kernel %q", *kernelName))
+	}
+
+	model := machine.New(topo)
+	switch *scenario {
+	case "none":
+	case "corun":
+		interfere.CoRunCPU(model, []int{0}, *share)
+	case "memory":
+		interfere.CoRunMemory(model, 0, *share, 0.8)
+	case "dvfs":
+		interfere.PaperDVFS(model, 0)
+	default:
+		fatal(fmt.Errorf("unknown interference %q", *scenario))
+	}
+
+	g := workloads.BuildSynthetic(workloads.SyntheticConfig{
+		Kernel:      kernel,
+		Tile:        *tile,
+		Tasks:       *tasks,
+		Parallelism: *parallelism,
+	})
+	fmt.Printf("platform: %s\n", topo)
+	fmt.Printf("policy %s, kernel %s, %d tasks, DAG parallelism %d, interference %s\n",
+		pol.Name(), kernel, *tasks, *parallelism, *scenario)
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+	}
+	rt, err := simrt.New(simrt.Config{Topo: topo, Model: model, Policy: pol, Seed: *seed, Alpha: *alpha, Trace: rec})
+	if err != nil {
+		fatal(err)
+	}
+	coll, err := rt.Run(g)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nthroughput: %.0f tasks/s   makespan: %.3f s\n", coll.Throughput(), coll.Makespan())
+	fmt.Println("\nper-core kernel work time [s]:")
+	for c, b := range coll.CoreBusy() {
+		fmt.Printf("  core %-2d %8.3f\n", c, b)
+	}
+	fmt.Println("\npriority task placement:")
+	for i, ps := range coll.PlaceHistogram(true) {
+		if i >= 10 || ps.Frac < 0.001 {
+			break
+		}
+		fmt.Printf("  %-8s %6.1f%%  (%d tasks)\n", ps.Place, ps.Frac*100, ps.Count)
+	}
+	stats := rt.CoreStats()
+	var steals int64
+	for _, s := range stats {
+		steals += s.Steals
+	}
+	fmt.Printf("\nsteals: %d\n", steals)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schedule trace (%d events) written to %s\n", rec.Len(), *traceOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dagsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+package dynasym_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dynasym"
+)
+
+// TestPublicAPIRealRun exercises the facade end to end on the real runtime.
+func TestPublicAPIRealRun(t *testing.T) {
+	g := dynasym.NewGraph()
+	var ran atomic.Int32
+	body := func(dynasym.Exec) { ran.Add(1) }
+	a := g.Add(&dynasym.Task{Label: "a", Body: body, Cost: dynasym.Cost{Ops: 1e5}})
+	b := g.Add(&dynasym.Task{Label: "b", Body: body, Cost: dynasym.Cost{Ops: 1e5}}, a)
+	g.Add(&dynasym.Task{Label: "c", High: true, Body: body, Cost: dynasym.Cost{Ops: 1e5}}, a, b)
+	res, err := dynasym.Run(g, dynasym.RunConfig{
+		Platform: dynasym.SymmetricPlatform(2),
+		Policy:   dynasym.DAMC(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone() != 3 || ran.Load() < 3 {
+		t.Fatalf("tasks done %d, bodies ran %d", res.TasksDone(), ran.Load())
+	}
+}
+
+// TestPublicAPISimulation exercises Simulate with scenarios and checks that
+// interference visibly slows the run.
+func TestPublicAPISimulation(t *testing.T) {
+	build := func() *dynasym.Graph {
+		return dynasym.BuildSyntheticDAG(dynasym.SyntheticConfig{
+			Kernel: dynasym.MatMul, Tile: 64, Tasks: 600, Parallelism: 2,
+		})
+	}
+	clean, err := dynasym.Simulate(build(), dynasym.SimConfig{
+		Platform: dynasym.TX2(), Policy: dynasym.RWS(), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := dynasym.Simulate(build(), dynasym.SimConfig{
+		Platform: dynasym.TX2(), Policy: dynasym.RWS(), Seed: 3,
+	}, dynasym.WithCoRunner([]int{0}, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Throughput() >= clean.Throughput() {
+		t.Fatalf("interference did not slow RWS: %.0f vs %.0f", noisy.Throughput(), clean.Throughput())
+	}
+	// The adaptive scheduler recovers most of the loss.
+	adaptive, err := dynasym.Simulate(build(), dynasym.SimConfig{
+		Platform: dynasym.TX2(), Policy: dynasym.DAMC(), Seed: 3,
+	}, dynasym.WithCoRunner([]int{0}, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Throughput() <= noisy.Throughput() {
+		t.Fatalf("DAM-C (%.0f) did not beat RWS (%.0f) under interference",
+			adaptive.Throughput(), noisy.Throughput())
+	}
+}
+
+// TestPolicyRegistry checks name round-trips through the facade.
+func TestPolicyRegistry(t *testing.T) {
+	if len(dynasym.Policies()) != 7 {
+		t.Fatalf("Policies() returned %d entries", len(dynasym.Policies()))
+	}
+	p, err := dynasym.PolicyByName("DAM-P")
+	if err != nil || p.Name() != "DAM-P" {
+		t.Fatalf("PolicyByName: %v, %v", p, err)
+	}
+}
+
+// TestScenarioDVFS checks the DVFS scenario plumbs through.
+func TestScenarioDVFS(t *testing.T) {
+	g := dynasym.BuildSyntheticDAG(dynasym.SyntheticConfig{
+		Kernel: dynasym.MatMul, Tile: 64, Tasks: 400, Parallelism: 4,
+	})
+	res, err := dynasym.Simulate(g, dynasym.SimConfig{
+		Platform: dynasym.TX2(), Policy: dynasym.DAMP(), Seed: 5,
+	}, dynasym.WithPaperDVFS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone() != 400 {
+		t.Fatalf("tasks done = %d", res.TasksDone())
+	}
+}

@@ -1,0 +1,68 @@
+// K-means: run the paper's data-parallel K-means application as a dynamic
+// DAG on the real runtime, optionally with a synthetic co-running load, and
+// report per-phase timing and clustering quality.
+//
+//	go run ./examples/kmeans
+//	go run ./examples/kmeans -load 2     # with 2 interfering spinner threads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dynasym"
+)
+
+func main() {
+	var (
+		load   = flag.Int("load", 0, "interfering spinner threads")
+		policy = flag.String("policy", "DAM-P", "scheduling policy")
+		n      = flag.Int("n", 1<<14, "points")
+		k      = flag.Int("k", 8, "clusters")
+		iters  = flag.Int("iters", 30, "max iterations")
+	)
+	flag.Parse()
+
+	pol, err := dynasym.PolicyByName(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *load > 0 {
+		stop := dynasym.StartInterferingLoad(*load)
+		defer stop()
+		fmt.Printf("started %d interfering spinner threads\n", *load)
+	}
+
+	km := dynasym.NewKMeans(dynasym.KMeansConfig{
+		N:        *n,
+		D:        16,
+		K:        *k,
+		Grains:   32,
+		MaxIters: *iters,
+		Epsilon:  1e-4,
+		Seed:     7,
+	})
+	g := km.Build()
+
+	res, err := dynasym.Run(g, dynasym.RunConfig{
+		Platform: dynasym.SymmetricPlatform(4),
+		Policy:   pol,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy %s: %d tasks over %d iterations in %.1f ms\n",
+		pol.Name(), res.TasksDone(), km.Iters, res.Makespan()*1e3)
+	fmt.Printf("converged: %v (last centroid movement %.3g)\n",
+		km.Epsilon > 0 && km.Moved < km.Epsilon, km.Moved)
+	fmt.Printf("inertia (sum of squared point-centroid distances): %.1f\n", km.Inertia())
+
+	fmt.Println("iteration times [ms]:")
+	for _, st := range res.IterStats() {
+		if st.Iter%5 == 0 {
+			fmt.Printf("  iter %-3d %7.2f\n", st.Iter, (st.End-st.Start)*1e3)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a small moldable task DAG with the public API and run
+// it on the real runtime with the DAM-C scheduler.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+
+	"dynasym"
+)
+
+func main() {
+	// A diamond DAG: prepare → 4 independent compute stages → combine.
+	// The combine task is on the critical path, so it is marked high
+	// priority; the scheduler will steer and mold it according to the
+	// online performance model.
+	g := dynasym.NewGraph()
+
+	var total atomic.Uint64
+	work := func(n int) func(dynasym.Exec) {
+		// A moldable body: members split the range by Exec.Part/Width.
+		return func(e dynasym.Exec) {
+			lo := e.Part * n / e.Width
+			hi := (e.Part + 1) * n / e.Width
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += math.Sqrt(float64(i))
+			}
+			total.Add(uint64(sum))
+		}
+	}
+
+	prepare := g.Add(&dynasym.Task{
+		Label: "prepare",
+		Type:  0,
+		Body:  work(200_000),
+		Cost:  dynasym.Cost{Ops: 2e6},
+	})
+	var stages []*dynasym.Task
+	for i := 0; i < 4; i++ {
+		stages = append(stages, g.Add(&dynasym.Task{
+			Label: fmt.Sprintf("stage-%d", i),
+			Type:  1,
+			Body:  work(1_000_000),
+			Cost:  dynasym.Cost{Ops: 1e7},
+		}, prepare))
+	}
+	g.Add(&dynasym.Task{
+		Label: "combine",
+		Type:  2,
+		High:  true, // critical: everything downstream waits for it
+		Body:  work(500_000),
+		Cost:  dynasym.Cost{Ops: 5e6},
+	}, stages...)
+
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DAG: %d tasks, parallelism %.1f\n", g.Total(), g.Parallelism())
+
+	res, err := dynasym.Run(g, dynasym.RunConfig{
+		Platform: dynasym.SymmetricPlatform(4),
+		Policy:   dynasym.DAMC(),
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d tasks in %.2f ms (checksum %d)\n",
+		res.TasksDone(), res.Makespan()*1e3, total.Load())
+	fmt.Println("execution places used:")
+	for _, ps := range res.PlaceHistogram(false) {
+		fmt.Printf("  %-8s %5.1f%%\n", ps.Place, ps.Frac*100)
+	}
+}

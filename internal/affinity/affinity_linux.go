@@ -1,0 +1,51 @@
+//go:build linux
+
+// Package affinity pins OS threads to cores where the platform supports it
+// (raw sched_setaffinity on Linux, no-op elsewhere). The real runtime uses
+// it so worker goroutines approximate the paper's one-worker-per-core
+// model; everything degrades gracefully when pinning is unavailable.
+package affinity
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Supported reports whether thread pinning works on this platform.
+func Supported() bool { return true }
+
+// Pin locks the calling goroutine to its OS thread and restricts that
+// thread to the given CPU (modulo the machine's CPU count). Callers must
+// pair it with Unpin. It returns an error if the kernel rejects the mask.
+func Pin(cpu int) error {
+	runtime.LockOSThread()
+	n := runtime.NumCPU()
+	if n <= 0 {
+		n = 1
+	}
+	var mask [16]uint64 // 1024 CPUs
+	c := cpu % n
+	mask[c/64] |= 1 << (uint(c) % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, // current thread
+		uintptr(len(mask)*8),
+		uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return errno
+	}
+	return nil
+}
+
+// Unpin releases the thread back to all CPUs and unlocks the goroutine.
+func Unpin() {
+	n := runtime.NumCPU()
+	var mask [16]uint64
+	for c := 0; c < n && c < len(mask)*64; c++ {
+		mask[c/64] |= 1 << (uint(c) % 64)
+	}
+	syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	runtime.UnlockOSThread()
+}

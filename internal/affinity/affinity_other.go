@@ -1,0 +1,12 @@
+//go:build !linux
+
+package affinity
+
+// Supported reports whether thread pinning works on this platform.
+func Supported() bool { return false }
+
+// Pin is a no-op on platforms without sched_setaffinity.
+func Pin(int) error { return nil }
+
+// Unpin is a no-op on platforms without sched_setaffinity.
+func Unpin() {}

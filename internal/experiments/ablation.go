@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
+	"dynasym/internal/workloads"
+)
+
+// Ablations beyond the paper: they isolate the contribution of individual
+// design decisions called out in DESIGN.md (wake-time routing, the
+// no-steal rule for critical tasks, the PTT weight, and the dHEFT
+// baseline).
+
+// stealablePolicy wraps a policy and re-enables stealing of high-priority
+// tasks, ablating the paper's "disable stealing of high priority tasks"
+// rule.
+type stealablePolicy struct{ core.Policy }
+
+func (p stealablePolicy) Name() string             { return p.Policy.Name() + "+steal" }
+func (p stealablePolicy) AllowPrioritySteal() bool { return true }
+
+// noWakePolicy wraps a policy and disables wake-time routing, leaving only
+// the dispatch-time decision: newly ready critical tasks stay on the waking
+// worker's queue.
+type noWakePolicy struct{ core.Policy }
+
+func (p noWakePolicy) Name() string { return p.Policy.Name() + "-wake" }
+func (p noWakePolicy) WakePlace(*core.Context) (int, bool) {
+	return 0, false
+}
+
+// AblationConfig selects the variant set and reuses the Figure 4a scenario
+// (MatMul DAG, co-runner on Denver core 0).
+type AblationConfig struct {
+	Variant      string // "steal", "wake", "dheft", "alpha"
+	Parallelisms []int
+	Seed         uint64
+	Scale        Scale
+}
+
+// Ablation runs the selected variant comparison.
+func Ablation(cfg AblationConfig) (*ThroughputGrid, error) {
+	if len(cfg.Parallelisms) == 0 {
+		cfg.Parallelisms = []int{2, 4, 6}
+	}
+	var policies []core.Policy
+	title := ""
+	switch cfg.Variant {
+	case "steal":
+		policies = []core.Policy{core.DAMC(), stealablePolicy{core.DAMC()}, core.DAMP(), stealablePolicy{core.DAMP()}}
+		title = "Ablation: stealing of high-priority tasks re-enabled"
+	case "wake":
+		policies = []core.Policy{core.DAMC(), noWakePolicy{core.DAMC()}, core.DA(), noWakePolicy{core.DA()}}
+		title = "Ablation: wake-time routing disabled (dispatch-only placement)"
+	case "dheft":
+		policies = []core.Policy{core.RWS(), core.DHEFT(), core.DA(), core.DAMC()}
+		title = "Ablation: dHEFT earliest-finish-time baseline"
+	case "sampled":
+		policies = []core.Policy{core.DAMC(), core.NewSampled(core.DAMC(), 4), core.NewSampled(core.DAMC(), 16)}
+		title = "Ablation: sampled global search (the paper's scalability future work)"
+	default:
+		return nil, fmt.Errorf("experiments: unknown ablation variant %q (want steal|wake|dheft|alpha)", cfg.Variant)
+	}
+	grid := Fig4(Fig4Config{
+		Kernel:       workloads.MatMul,
+		Parallelisms: cfg.Parallelisms,
+		Policies:     policies,
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+	})
+	grid.Title = title
+	return grid, nil
+}
+
+// AblationAlpha sweeps the PTT weight under DVFS (complementing Figure 8's
+// co-run sweep): adaptation speed matters most when conditions flip every
+// five seconds.
+func AblationAlpha(cfg AblationConfig) *AlphaResult {
+	alphas := []float64{1.0 / 5, 2.0 / 5, 3.0 / 5, 4.0 / 5, 1.0}
+	res := &AlphaResult{Alphas: alphas}
+	for _, alpha := range alphas {
+		grid := fig7WithAlpha(cfg, alpha)
+		res.Tput = append(res.Tput, grid.Get("DAM-C", 4))
+	}
+	return res
+}
+
+func fig7WithAlpha(cfg AblationConfig, alpha float64) *ThroughputGrid {
+	f := Fig7Config{
+		Kernel:       workloads.MatMul,
+		Parallelisms: []int{4},
+		Policies:     []core.Policy{core.DAMC()},
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+	}.defaults()
+	grid := &ThroughputGrid{
+		Title:    "ablation-alpha",
+		XLabel:   "P",
+		X:        f.Parallelisms,
+		Policies: policyNames(f.Policies),
+		Tput:     make([][]float64, len(f.Policies)),
+	}
+	// Reuse Fig7 with a per-run alpha by inlining its loop.
+	wcfg := workloads.SyntheticConfig{Kernel: f.Kernel}.Defaults()
+	wcfg.Tasks = f.Scale.Apply(wcfg.Tasks, 600)
+	for i, pol := range f.Policies {
+		grid.Tput[i] = make([]float64, len(f.Parallelisms))
+		for j, par := range f.Parallelisms {
+			grid.Tput[i][j] = runDVFSOnce(f, wcfg, pol, par, alpha)
+		}
+	}
+	return grid
+}
+
+// AlphaResult holds the DVFS alpha sweep.
+type AlphaResult struct {
+	Alphas []float64
+	Tput   []float64
+}
+
+// Render prints the sweep.
+func (r *AlphaResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "# Ablation: PTT new-sample weight under DVFS (DAM-C, MatMul, P=4)")
+	for i, a := range r.Alphas {
+		fmt.Fprintf(w, "alpha=%.1f  %10.0f tasks/s\n", a, r.Tput[i])
+	}
+}
+
+// AblationInfer compares user-annotated criticality against CATS-style
+// inferred criticality (dag.InferCriticality) and against no priorities at
+// all, on the Figure 4a scenario. The paper defers dynamic criticality
+// inference to related work; this quantifies what the runtime loses when
+// the user provides no annotations.
+func AblationInfer(cfg AblationConfig) *ThroughputGrid {
+	if len(cfg.Parallelisms) == 0 {
+		cfg.Parallelisms = []int{2, 4}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	grid := &ThroughputGrid{
+		Title:    "Ablation: user-annotated vs inferred vs absent criticality (DAM-C, MatMul co-run)",
+		XLabel:   "P",
+		X:        cfg.Parallelisms,
+		Policies: []string{"user", "inferred", "none"},
+		Tput:     make([][]float64, 3),
+	}
+	wcfg := workloads.SyntheticConfig{Kernel: workloads.MatMul}.Defaults()
+	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
+	for row, variant := range []string{"user", "inferred", "none"} {
+		grid.Tput[row] = make([]float64, len(cfg.Parallelisms))
+		for j, par := range cfg.Parallelisms {
+			topo, model := newModelTX2()
+			interfere.CoRunCPU(model, []int{0}, 0.5)
+			wcfg.Parallelism = par
+			g := workloads.BuildSynthetic(wcfg)
+			switch variant {
+			case "inferred":
+				g.ClearPriorities()
+				g.InferCriticality(1.0, false)
+			case "none":
+				g.ClearPriorities()
+			}
+			rt, err := simrt.New(simCfg(topo, model, core.DAMC(), cfg.Seed, 0))
+			if err != nil {
+				panic(fmt.Sprintf("experiments: infer ablation: %v", err))
+			}
+			coll, err := rt.Run(g)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: infer ablation %s P=%d: %v", variant, par, err))
+			}
+			grid.Tput[row][j] = coll.Throughput()
+		}
+	}
+	return grid
+}
+
+// AblationWidth compares the full TX2 against a width-capped TX2 (all
+// widths forced to 1) under DVFS at low parallelism, quantifying the
+// moldability contribution in isolation.
+func AblationWidth(cfg AblationConfig) *ThroughputGrid {
+	pols := []core.Policy{core.DA(), core.DAMP()}
+	grid := &ThroughputGrid{
+		Title:    "Ablation: moldability disabled via width-1 platform (Stencil, DVFS)",
+		XLabel:   "P",
+		X:        []int{2, 3},
+		Policies: []string{"DA/w1", "DAM-P/w1", "DA", "DAM-P"},
+	}
+	narrow := topology.MustNew([]topology.Cluster{
+		func() topology.Cluster {
+			c := topology.TX2().Cluster(0)
+			c.Widths = []int{1}
+			return c
+		}(),
+		func() topology.Cluster {
+			c := topology.TX2().Cluster(1)
+			c.Widths = []int{1}
+			return c
+		}(),
+	})
+	full := topology.TX2()
+	for _, topoCase := range []*topology.Platform{narrow, full} {
+		for _, pol := range pols {
+			row := make([]float64, len(grid.X))
+			for j, par := range grid.X {
+				row[j] = runDVFSOnTopo(topoCase, cfg, pol, par)
+			}
+			grid.Tput = append(grid.Tput, row)
+		}
+	}
+	return grid
+}

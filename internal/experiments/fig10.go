@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/machine"
+	"dynasym/internal/metrics"
+	"dynasym/internal/sim"
+	"dynasym/internal/simnet"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
+	"dynasym/internal/workloads"
+)
+
+// Fig10Config parameterizes the distributed 2D Heat experiment
+// (Figure 10): four dual-socket 10-core nodes run the stencil with critical
+// boundary-exchange (MPI) tasks while a compute-bound interferer occupies
+// five cores of node 0's socket 0. The paper evaluates RWS, RWSM-C, DA,
+// DAM-C and DAM-P.
+type Fig10Config struct {
+	Policies []core.Policy
+	Seed     uint64
+	Scale    Scale
+	Share    float64
+	// Latency/Bandwidth describe the interconnect (defaults: 2 µs,
+	// 5 GB/s effective — FDR InfiniBand class).
+	Latency, Bandwidth float64
+	HD                 workloads.HeatDistConfig
+}
+
+func (c Fig10Config) defaults() Fig10Config {
+	if len(c.Policies) == 0 {
+		c.Policies = []core.Policy{core.RWS(), core.RWSMC(), core.DA(), core.DAMC(), core.DAMP()}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Share == 0 {
+		c.Share = 0.35
+	}
+	if c.Latency == 0 {
+		c.Latency = 2e-6
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 5e9
+	}
+	return c
+}
+
+// Fig10Result holds throughput per policy.
+type Fig10Result struct {
+	Policies []string
+	Tput     []float64
+	Makespan []float64
+	Tasks    int64
+	// Warmup is the time at which the interferer started.
+	Warmup float64
+}
+
+// Fig10 runs the distributed experiment: one simulated runtime per node
+// sharing a virtual clock and a simulated interconnect.
+func Fig10(cfg Fig10Config) *Fig10Result {
+	cfg = cfg.defaults()
+	hdCfg := cfg.HD.Defaults()
+	if cfg.Scale > 0 && cfg.Scale < 1 {
+		hdCfg.Iters = cfg.Scale.Apply(hdCfg.Iters, 10)
+	}
+	// Calibrate the uninterfered iteration pace (DAM-C, a few iterations)
+	// so the co-runner can start after a training window, as in the paper
+	// ("the co-running application starts a few iterations after the
+	// start ensuring a reasonable window for training").
+	calibCfg := hdCfg
+	calibCfg.Iters = 10
+	_, calibSpan, _ := runFig10Once(cfg, calibCfg, core.DAMC(), 0)
+	iterTime := calibSpan / float64(calibCfg.Iters)
+	warmup := 8 * iterTime
+
+	res := &Fig10Result{Policies: policyNames(cfg.Policies), Warmup: warmup}
+	for _, pol := range cfg.Policies {
+		tput, makespan, tasks := runFig10Once(cfg, hdCfg, pol, warmup)
+		res.Tput = append(res.Tput, tput)
+		res.Makespan = append(res.Makespan, makespan)
+		res.Tasks = tasks
+	}
+	return res
+}
+
+// runFig10Once executes the 4-node simulation for one policy. The
+// interferer starts at `warmup` seconds (0 = from the beginning) and stays
+// for the rest of the run.
+func runFig10Once(cfg Fig10Config, hdCfg workloads.HeatDistConfig, pol core.Policy, warmup float64) (tput, makespan float64, tasks int64) {
+	engine := sim.New()
+	net := simnet.New(engine, cfg.Latency, cfg.Bandwidth)
+	hd := workloads.NewHeatDist(hdCfg)
+	runtimes := make([]*simrt.Runtime, hd.Nodes)
+	colls := make([]*metrics.Collector, hd.Nodes)
+	for node := 0; node < hd.Nodes; node++ {
+		topo := topology.HaswellNode(node)
+		model := machine.New(topo)
+		if node == 0 {
+			// Five cores of socket 0 run the interfering matmul kernel.
+			if warmup > 0 {
+				interfere.CoRunCPUEpisode(model, []int{0, 1, 2, 3, 4}, cfg.Share, warmup, 1e18)
+			} else {
+				interfere.CoRunCPU(model, []int{0, 1, 2, 3, 4}, cfg.Share)
+			}
+		}
+		rt, err := simrt.New(simrt.Config{
+			Topo:   topo,
+			Model:  model,
+			Policy: pol,
+			Seed:   cfg.Seed + uint64(node)*1009,
+			Engine: engine,
+			Hook:   hd.Hook(net),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fig10: %v", err))
+		}
+		if err := rt.Start(hd.BuildNode(node)); err != nil {
+			panic(fmt.Sprintf("experiments: fig10 start node %d: %v", node, err))
+		}
+		runtimes[node] = rt
+		colls[node] = rt.Collector()
+	}
+	engine.Run()
+	for node, rt := range runtimes {
+		if !rt.Finished() {
+			panic(fmt.Sprintf("experiments: fig10 %s: node %d stalled (pending msgs: %d)", pol.Name(), node, net.Pending()))
+		}
+		if rt.Makespan() > makespan {
+			makespan = rt.Makespan()
+		}
+		tasks += colls[node].TasksDone()
+	}
+	return float64(tasks) / makespan, makespan, tasks
+}
+
+// Render prints the per-policy throughput bars.
+func (r *Fig10Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 10: distributed 2D Heat throughput on 4 nodes (interference on node 0, socket 0)")
+	max := 0.0
+	for _, v := range r.Tput {
+		if v > max {
+			max = v
+		}
+	}
+	for i, p := range r.Policies {
+		fmt.Fprintf(w, "%-8s%10.0f tasks/s  %s\n", p, r.Tput[i], bar(r.Tput[i], max, 40))
+	}
+}
+
+// Get returns the throughput of a policy by name.
+func (r *Fig10Result) Get(policy string) float64 {
+	for i, p := range r.Policies {
+		if p == policy {
+			return r.Tput[i]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/metrics"
+	"dynasym/internal/simrt"
+	"dynasym/internal/workloads"
+)
+
+// Fig4Config parameterizes the co-running interference experiment
+// (Figure 4): throughput of the seven schedulers over DAG parallelism 2–6
+// on the TX2, with a serial co-runner pinned to Denver core 0 for the whole
+// execution. MatMul and Stencil face a compute-bound co-runner (CPU
+// interference); Copy faces a streaming co-runner (memory interference).
+type Fig4Config struct {
+	Kernel       workloads.KernelKind
+	Parallelisms []int
+	Policies     []core.Policy
+	Seed         uint64
+	Scale        Scale
+	// Share is the fraction of the victim core left to the runtime
+	// (default 0.5: equal time-sharing with the co-runner).
+	Share float64
+	// BWFactor is the victim cluster's remaining memory bandwidth under
+	// the streaming co-runner (Copy only; default 0.8).
+	BWFactor float64
+}
+
+func (c Fig4Config) defaults() Fig4Config {
+	if len(c.Parallelisms) == 0 {
+		c.Parallelisms = []int{2, 3, 4, 5, 6}
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = core.All()
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Share == 0 {
+		c.Share = 0.5
+	}
+	if c.BWFactor == 0 {
+		c.BWFactor = 0.8
+	}
+	return c
+}
+
+// Fig4 runs the experiment and returns the throughput grid.
+func Fig4(cfg Fig4Config) *ThroughputGrid {
+	cfg = cfg.defaults()
+	grid := &ThroughputGrid{
+		Title:    fmt.Sprintf("Figure 4 (%s): throughput under co-running interference on core 0", cfg.Kernel),
+		XLabel:   "P",
+		X:        cfg.Parallelisms,
+		Policies: policyNames(cfg.Policies),
+		Tput:     make([][]float64, len(cfg.Policies)),
+	}
+	wcfg := workloads.SyntheticConfig{Kernel: cfg.Kernel}.Defaults()
+	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
+	for i, pol := range cfg.Policies {
+		grid.Tput[i] = make([]float64, len(cfg.Parallelisms))
+		for j, par := range cfg.Parallelisms {
+			coll := runFig4Once(cfg, wcfg, pol, par)
+			grid.Tput[i][j] = coll.Throughput()
+		}
+	}
+	return grid
+}
+
+// runFig4Once executes one (policy, parallelism) cell and returns its
+// collector; Figures 5 and 6 reuse it for their single-cell analyses.
+func runFig4Once(cfg Fig4Config, wcfg workloads.SyntheticConfig, pol core.Policy, parallelism int) *metrics.Collector {
+	topo, model := newModelTX2()
+	if cfg.Kernel == workloads.Copy {
+		interfere.CoRunMemory(model, 0, cfg.Share, cfg.BWFactor)
+	} else {
+		interfere.CoRunCPU(model, []int{0}, cfg.Share)
+	}
+	wcfg.Parallelism = parallelism
+	g := workloads.BuildSynthetic(wcfg)
+	rt, err := simrt.New(simCfg(topo, model, pol, cfg.Seed, 0))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig4: %v", err))
+	}
+	coll, err := rt.Run(g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig4 %s P=%d: %v", pol.Name(), parallelism, err))
+	}
+	return coll
+}

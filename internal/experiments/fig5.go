@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dynasym/internal/core"
+	"dynasym/internal/metrics"
+	"dynasym/internal/workloads"
+)
+
+// Fig5Config parameterizes the priority-task placement analysis
+// (Figure 5): the distribution of high-priority tasks over execution
+// places, per scheduler, for the MatMul DAG at parallelism 2 with the
+// co-runner on Denver core 0. Figure 6 (per-core work time) comes from the
+// same runs.
+type Fig5Config struct {
+	Policies []core.Policy
+	Seed     uint64
+	Scale    Scale
+	Share    float64
+}
+
+func (c Fig5Config) defaults() Fig5Config {
+	if len(c.Policies) == 0 {
+		c.Policies = core.All()
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Share == 0 {
+		c.Share = 0.5
+	}
+	return c
+}
+
+// Fig5Result holds, per policy, the high-priority place histogram and the
+// per-core work times of the same run.
+type Fig5Result struct {
+	Policies []string
+	Hists    [][]metrics.PlaceShare
+	CoreBusy [][]float64 // [policy][core] seconds
+	Makespan []float64
+	Cores    int
+}
+
+// Fig5 runs the experiment.
+func Fig5(cfg Fig5Config) *Fig5Result {
+	cfg = cfg.defaults()
+	f4 := Fig4Config{Kernel: workloads.MatMul, Seed: cfg.Seed, Share: cfg.Share, Scale: cfg.Scale}.defaults()
+	wcfg := workloads.SyntheticConfig{Kernel: workloads.MatMul}.Defaults()
+	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
+	res := &Fig5Result{Policies: policyNames(cfg.Policies)}
+	for _, pol := range cfg.Policies {
+		coll := runFig4Once(f4, wcfg, pol, 2)
+		res.Hists = append(res.Hists, coll.PlaceHistogram(true))
+		res.CoreBusy = append(res.CoreBusy, coll.CoreBusy())
+		res.Makespan = append(res.Makespan, coll.Makespan())
+		res.Cores = len(coll.CoreBusy())
+	}
+	return res
+}
+
+// Render prints the place distribution per policy (the paper's pie charts
+// as percentage lists).
+func (r *Fig5Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 5: distribution of priority tasks over execution places (MatMul, P=2)")
+	for i, p := range r.Policies {
+		fmt.Fprintf(w, "%-8s", p)
+		for k, ps := range r.Hists[i] {
+			if ps.Frac < 0.001 || k > 7 {
+				break
+			}
+			fmt.Fprintf(w, "  %s=%0.1f%%", ps.Place, ps.Frac*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Share returns the fraction of priority tasks policy `name` placed on
+// places whose leader is `leader` (any width), for shape assertions.
+func (r *Fig5Result) Share(name string, leader int) float64 {
+	for i, p := range r.Policies {
+		if p != name {
+			continue
+		}
+		total := 0.0
+		for _, ps := range r.Hists[i] {
+			if ps.Place.Leader == leader {
+				total += ps.Frac
+			}
+		}
+		return total
+	}
+	return 0
+}
+
+// Fig6Result renders the per-core work time view of the Figure 5 runs.
+type Fig6Result struct{ *Fig5Result }
+
+// Fig6 runs (or reuses) the Figure 5 configuration and returns the
+// per-core work time result.
+func Fig6(cfg Fig5Config) *Fig6Result { return &Fig6Result{Fig5(cfg)} }
+
+// Render prints per-core cumulative kernel work time and the total
+// execution time per scheduler (the paper's Figure 6 bars).
+func (r *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 6: per-core work time [s] and total execution time (MatMul, P=2, co-run on core 0)")
+	fmt.Fprintf(w, "%-8s", "policy")
+	for c := 0; c < r.Cores; c++ {
+		fmt.Fprintf(w, "   core%-2d", c)
+	}
+	fmt.Fprintf(w, "%9s\n", "total")
+	for i, p := range r.Policies {
+		fmt.Fprintf(w, "%-8s", p)
+		for _, v := range r.CoreBusy[i] {
+			fmt.Fprintf(w, "%9.2f", v)
+		}
+		fmt.Fprintf(w, "%9.2f\n", r.Makespan[i])
+	}
+}
+
+// CoreTime returns policy `name`'s work time on a core.
+func (r *Fig5Result) CoreTime(name string, coreID int) float64 {
+	for i, p := range r.Policies {
+		if p == name {
+			return r.CoreBusy[i][coreID]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/machine"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
+	"dynasym/internal/workloads"
+)
+
+// Fig7Config parameterizes the DVFS experiment (Figure 7): the Denver
+// cluster's clock alternates between 2035 MHz and 345 MHz with a 10-second
+// period (5 s + 5 s) while the synthetic DAGs run; no co-runner.
+type Fig7Config struct {
+	Kernel       workloads.KernelKind
+	Parallelisms []int
+	Policies     []core.Policy
+	Seed         uint64
+	Scale        Scale
+	// HiHz/LoHz/HiDur/LoDur override the paper's DVFS wave when non-zero.
+	HiHz, LoHz    float64
+	HiDur, LoDur  float64
+	VictimCluster int
+}
+
+func (c Fig7Config) defaults() Fig7Config {
+	if len(c.Parallelisms) == 0 {
+		c.Parallelisms = []int{2, 3, 4, 5, 6}
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = core.All()
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.HiHz == 0 {
+		c.HiHz = 2035e6
+	}
+	if c.LoHz == 0 {
+		c.LoHz = 345e6
+	}
+	if c.HiDur == 0 {
+		c.HiDur = 5
+	}
+	if c.LoDur == 0 {
+		c.LoDur = 5
+	}
+	return c
+}
+
+// Fig7 runs the DVFS experiment and returns the throughput grid.
+func Fig7(cfg Fig7Config) *ThroughputGrid {
+	cfg = cfg.defaults()
+	grid := &ThroughputGrid{
+		Title:    fmt.Sprintf("Figure 7 (%s): throughput under DVFS on the Denver cluster", cfg.Kernel),
+		XLabel:   "P",
+		X:        cfg.Parallelisms,
+		Policies: policyNames(cfg.Policies),
+		Tput:     make([][]float64, len(cfg.Policies)),
+	}
+	wcfg := workloads.SyntheticConfig{Kernel: cfg.Kernel}.Defaults()
+	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
+	for i, pol := range cfg.Policies {
+		grid.Tput[i] = make([]float64, len(cfg.Parallelisms))
+		for j, par := range cfg.Parallelisms {
+			grid.Tput[i][j] = runDVFSOnce(cfg, wcfg, pol, par, 0)
+		}
+	}
+	return grid
+}
+
+// runDVFSOnce executes one DVFS cell with an optional PTT alpha override.
+func runDVFSOnce(cfg Fig7Config, wcfg workloads.SyntheticConfig, pol core.Policy, parallelism int, alpha float64) float64 {
+	topo, model := newModelTX2()
+	interfere.DVFS(model, cfg.VictimCluster, cfg.HiHz, cfg.LoHz, cfg.HiDur, cfg.LoDur)
+	wcfg.Parallelism = parallelism
+	g := workloads.BuildSynthetic(wcfg)
+	rt, err := simrt.New(simCfg(topo, model, pol, cfg.Seed, alpha))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig7: %v", err))
+	}
+	coll, err := rt.Run(g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig7 %s P=%d: %v", pol.Name(), parallelism, err))
+	}
+	return coll.Throughput()
+}
+
+// runDVFSOnTopo runs the Stencil DVFS scenario on an arbitrary platform
+// (used by the width ablation).
+func runDVFSOnTopo(topo *topology.Platform, cfg AblationConfig, pol core.Policy, parallelism int) float64 {
+	model := machine.New(topo)
+	interfere.PaperDVFS(model, 0)
+	wcfg := workloads.SyntheticConfig{Kernel: workloads.Stencil}.Defaults()
+	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
+	wcfg.Parallelism = parallelism
+	g := workloads.BuildSynthetic(wcfg)
+	rt, err := simrt.New(simCfg(topo, model, pol, cfg.Seed+7, 0))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: width ablation: %v", err))
+	}
+	coll, err := rt.Run(g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: width ablation %s P=%d: %v", pol.Name(), parallelism, err))
+	}
+	return coll.Throughput()
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/simrt"
+	"dynasym/internal/workloads"
+)
+
+// Fig8Config parameterizes the sensitivity analysis (Figure 8): MatMul DAG
+// throughput as a function of the PTT update weight (new-sample weight
+// alpha = 1/5 … 5/5) and the tile size (32, 64, 80, 96), under the same
+// core-0 co-runner as Figure 4. Short tasks (tile 32) are sensitive to
+// measurement outliers, so aggressive weights mis-steer the scheduler;
+// larger tiles are insensitive — that is the paper's justification for the
+// 1:4 weighted update.
+type Fig8Config struct {
+	Tiles    []int
+	Alphas   []float64
+	Policy   core.Policy
+	Seed     uint64
+	Scale    Scale
+	Share    float64
+	Parallel int
+}
+
+func (c Fig8Config) defaults() Fig8Config {
+	if len(c.Tiles) == 0 {
+		c.Tiles = []int{32, 64, 80, 96}
+	}
+	if len(c.Alphas) == 0 {
+		c.Alphas = []float64{1.0 / 5, 2.0 / 5, 3.0 / 5, 4.0 / 5, 1.0}
+	}
+	if c.Policy == nil {
+		c.Policy = core.DAMC()
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Share == 0 {
+		c.Share = 0.5
+	}
+	if c.Parallel == 0 {
+		// Parallelism 2 keeps the run spine-bound, where critical-task
+		// placement flips caused by noisy measurements actually cost
+		// throughput (the paper's tile-32 sensitivity).
+		c.Parallel = 2
+	}
+	return c
+}
+
+// Fig8Result holds throughput per (tile, alpha).
+type Fig8Result struct {
+	Tiles  []int
+	Alphas []float64
+	// Tput[i][j] is throughput for Tiles[i] at Alphas[j].
+	Tput [][]float64
+}
+
+// Fig8 runs the sensitivity sweep.
+func Fig8(cfg Fig8Config) *Fig8Result {
+	cfg = cfg.defaults()
+	res := &Fig8Result{Tiles: cfg.Tiles, Alphas: cfg.Alphas, Tput: make([][]float64, len(cfg.Tiles))}
+	for i, tile := range cfg.Tiles {
+		res.Tput[i] = make([]float64, len(cfg.Alphas))
+		for j, alpha := range cfg.Alphas {
+			topo, model := newModelTX2()
+			interfere.CoRunCPU(model, []int{0}, cfg.Share)
+			wcfg := workloads.SyntheticConfig{
+				Kernel:      workloads.MatMul,
+				Tile:        tile,
+				Tasks:       cfg.Scale.Apply(32000, 600),
+				Parallelism: cfg.Parallel,
+			}
+			g := workloads.BuildSynthetic(wcfg)
+			rt, err := simrt.New(simCfg(topo, model, cfg.Policy, cfg.Seed, alpha))
+			if err != nil {
+				panic(fmt.Sprintf("experiments: fig8: %v", err))
+			}
+			coll, err := rt.Run(g)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: fig8 tile=%d alpha=%.2f: %v", tile, alpha, err))
+			}
+			res.Tput[i][j] = coll.Throughput()
+		}
+	}
+	return res
+}
+
+// Render prints tiles × alphas.
+func (r *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 8: PTT weight-ratio and tile-size sensitivity (MatMul, co-run on core 0)")
+	fmt.Fprintf(w, "%-6s", "tile")
+	for _, a := range r.Alphas {
+		fmt.Fprintf(w, "  w=%.1f   ", a)
+	}
+	fmt.Fprintln(w)
+	for i, tile := range r.Tiles {
+		fmt.Fprintf(w, "%-6d", tile)
+		for j := range r.Alphas {
+			fmt.Fprintf(w, "%9.0f", r.Tput[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Spread returns (max-min)/max throughput across alphas for a tile index —
+// the paper reports ~36% for tile 32 and near-flat for larger tiles.
+func (r *Fig8Result) Spread(i int) float64 {
+	min, max := r.Tput[i][0], r.Tput[i][0]
+	for _, v := range r.Tput[i] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return (max - min) / max
+}

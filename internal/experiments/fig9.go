@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/machine"
+	"dynasym/internal/metrics"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
+	"dynasym/internal/workloads"
+)
+
+// Fig9Config parameterizes the K-means experiment (Figure 9): per-iteration
+// execution time of RWS, DAM-C and DAM-P on the 16-core dual-socket Haswell
+// node, with a co-runner occupying socket 0 during iterations
+// [From, To). The paper's interference window is iterations 20–70 of 100.
+type Fig9Config struct {
+	Policies []core.Policy
+	Iters    int
+	From, To int
+	Share    float64
+	Seed     uint64
+	Scale    Scale
+	KM       workloads.KMeansConfig
+}
+
+func (c Fig9Config) defaults() Fig9Config {
+	if len(c.Policies) == 0 {
+		c.Policies = []core.Policy{core.RWS(), core.DAMC(), core.DAMP()}
+	}
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.To == 0 {
+		c.From, c.To = 20, 70
+	}
+	if c.Share == 0 {
+		c.Share = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Fig9Result holds per-iteration statistics per policy. The interference
+// window is defined in absolute virtual time (calibrated so it opens at
+// iteration From under uninterfered pacing); because interference slows
+// iterations down, the set of affected iteration indices differs per
+// policy — InWindow reports the actual overlap.
+type Fig9Result struct {
+	Policies []string
+	Stats    [][]metrics.IterStat
+	Topo     *topology.Platform
+	// WindowIters is the configured iteration window (paper labeling).
+	WindowIters [2]int
+	// WindowTime is the absolute interference interval in seconds.
+	WindowTime [2]float64
+	// AvgIter is the calibrated uninterfered iteration time.
+	AvgIter float64
+}
+
+// Fig9 runs the experiment. The interference window is positioned in time
+// by first calibrating the uninterfered iteration duration with DAM-C.
+func Fig9(cfg Fig9Config) *Fig9Result {
+	cfg = cfg.defaults()
+	kmCfg := cfg.KM
+	kmCfg.MaxIters = cfg.Iters
+	if cfg.Scale > 0 && cfg.Scale < 1 {
+		base := kmCfg.Defaults()
+		kmCfg = base
+		kmCfg.N = cfg.Scale.Apply(base.N, 1<<13)
+	}
+
+	// Calibration run: DAM-C, no interference.
+	calib := runKMeansOnce(kmCfg, core.DAMC(), cfg.Seed, nil)
+	stats := calib.IterStats()
+	total := 0.0
+	for _, st := range stats {
+		total += st.End - st.Start
+	}
+	avgIter := total / float64(len(stats))
+
+	res := &Fig9Result{
+		WindowIters: [2]int{cfg.From, cfg.To},
+		WindowTime:  [2]float64{float64(cfg.From) * avgIter, float64(cfg.To) * avgIter},
+		AvgIter:     avgIter,
+	}
+	for _, pol := range cfg.Policies {
+		coll := runKMeansOnce(kmCfg, pol, cfg.Seed, func(m *machine.Model, topo *topology.Platform) {
+			interfere.CoRunCPUEpisode(m, topo.CoresOf(0), cfg.Share, res.WindowTime[0], res.WindowTime[1])
+		})
+		res.Policies = append(res.Policies, pol.Name())
+		res.Stats = append(res.Stats, coll.IterStats())
+		res.Topo = coll.Platform()
+	}
+	return res
+}
+
+// runKMeansOnce executes one K-means run on a fresh Haswell16 platform.
+func runKMeansOnce(kmCfg workloads.KMeansConfig, pol core.Policy, seed uint64, disturb func(*machine.Model, *topology.Platform)) *metrics.Collector {
+	topo := topology.Haswell16()
+	model := machine.New(topo)
+	if disturb != nil {
+		disturb(model, topo)
+	}
+	km := workloads.NewKMeans(kmCfg)
+	g := km.Build()
+	rt, err := simrt.New(simCfg(topo, model, pol, seed, 0))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig9: %v", err))
+	}
+	coll, err := rt.Run(g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig9 %s: %v", pol.Name(), err))
+	}
+	return coll
+}
+
+// policyIndex returns the row for a policy name, or -1.
+func (r *Fig9Result) policyIndex(name string) int {
+	for i, p := range r.Policies {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// InWindow reports whether iteration stat overlaps the interference
+// interval.
+func (r *Fig9Result) InWindow(st metrics.IterStat) bool {
+	return st.End > r.WindowTime[0] && st.Start < r.WindowTime[1]
+}
+
+// InWindowSettled reports whether the iteration lies fully inside the
+// interference interval, past the adaptation transient (the PTT needs a few
+// observations before placements migrate, so the first post-onset
+// iterations are excluded when comparing steady-state behaviour).
+func (r *Fig9Result) InWindowSettled(st metrics.IterStat) bool {
+	return st.Start >= r.WindowTime[0]+4*r.AvgIter && st.End <= r.WindowTime[1]
+}
+
+// MeanIterTime returns a policy's mean iteration wall time, either inside
+// or outside the interference window.
+func (r *Fig9Result) MeanIterTime(policy string, inWindow bool) float64 {
+	i := r.policyIndex(policy)
+	if i < 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for _, st := range r.Stats[i] {
+		if r.InWindow(st) == inWindow {
+			sum += st.End - st.Start
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanSettledIterTime returns a policy's mean iteration wall time over
+// iterations fully inside the interference window, past the adaptation
+// transient.
+func (r *Fig9Result) MeanSettledIterTime(policy string) float64 {
+	i := r.policyIndex(policy)
+	if i < 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for _, st := range r.Stats[i] {
+		if r.InWindowSettled(st) {
+			sum += st.End - st.Start
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WideShare returns the fraction of tasks the policy executed at width > 1
+// inside the interference window (Figure 9c's molding behaviour).
+func (r *Fig9Result) WideShare(policy string) float64 {
+	i := r.policyIndex(policy)
+	if i < 0 {
+		return 0
+	}
+	places := r.Topo.Places()
+	var wide, total int64
+	for _, st := range r.Stats[i] {
+		if !r.InWindow(st) {
+			continue
+		}
+		for id, n := range st.Places {
+			total += n
+			if places[id].Width > 1 {
+				wide += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(wide) / float64(total)
+}
+
+// Render prints Figure 9a (iteration times), marking iterations that
+// overlap the interference window.
+func (r *Fig9Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "# Figure 9a: K-means per-iteration time [ms]; interference window targets iterations [%d, %d)\n",
+		r.WindowIters[0], r.WindowIters[1])
+	fmt.Fprintf(w, "%-6s", "iter")
+	for _, p := range r.Policies {
+		fmt.Fprintf(w, "%10s", p)
+	}
+	fmt.Fprintln(w, "  (* = interfered, first policy's timeline)")
+	n := 0
+	for _, st := range r.Stats {
+		if len(st) > n {
+			n = len(st)
+		}
+	}
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(w, "%-6d", k)
+		interfered := false
+		for i := range r.Policies {
+			if k < len(r.Stats[i]) {
+				fmt.Fprintf(w, "%10.2f", (r.Stats[i][k].End-r.Stats[i][k].Start)*1e3)
+				if i == 0 {
+					interfered = r.InWindow(r.Stats[i][k])
+				}
+			} else {
+				fmt.Fprintf(w, "%10s", "-")
+			}
+		}
+		if interfered {
+			fmt.Fprint(w, "  *")
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderPlaces prints Figure 9b/c: per-iteration task counts per execution
+// place for the given policy.
+func (r *Fig9Result) RenderPlaces(w io.Writer, policy string) error {
+	idx := r.policyIndex(policy)
+	if idx < 0 {
+		return fmt.Errorf("experiments: policy %q not in Figure 9 run", policy)
+	}
+	allPlaces := r.Topo.Places()
+	seen := map[int]bool{}
+	for _, st := range r.Stats[idx] {
+		for id := range st.Places {
+			seen[id] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Fprintf(w, "# Figure 9 (%s): task count per execution place per iteration\n", policy)
+	fmt.Fprintf(w, "%-6s", "iter")
+	for _, id := range ids {
+		fmt.Fprintf(w, "%9s", allPlaces[id].String())
+	}
+	fmt.Fprintln(w)
+	for k, st := range r.Stats[idx] {
+		fmt.Fprintf(w, "%-6d", k)
+		for _, id := range ids {
+			fmt.Fprintf(w, "%9d", st.Places[id])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

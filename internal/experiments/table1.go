@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dynasym/internal/core"
+)
+
+// Table1Result reproduces the paper's Table 1: the feature summary of all
+// evaluated schedulers.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one scheduler's feature row.
+type Table1Row struct {
+	Name      string
+	Asymmetry string
+	Mold      string
+	Placement string
+}
+
+// Table1 builds the feature table from the implemented policies.
+func Table1() *Table1Result {
+	res := &Table1Result{}
+	for _, p := range core.All() {
+		f := core.FeaturesOf(p)
+		res.Rows = append(res.Rows, Table1Row{
+			Name:      p.Name(),
+			Asymmetry: f.Asymmetry,
+			Mold:      f.Mold,
+			Placement: f.Placement,
+		})
+	}
+	return res
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "# Table 1: features summary of all evaluated schedulers")
+	fmt.Fprintf(w, "%-8s  %-22s  %-12s  %s\n", "Name", "[A]symmetry awareness", "[M]oldability", "Priority placement")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s  %-22s  %-12s  %s\n", row.Name, row.Asymmetry, row.Mold, row.Placement)
+	}
+}

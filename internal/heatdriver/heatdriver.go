@@ -1,0 +1,257 @@
+// Package heatdriver runs the distributed 2D Heat stencil for real: each
+// rank executes its slab of the grid on the real task runtime
+// (internal/xtr) and exchanges boundary rows with its neighbours through
+// mpilite inside high-priority message-passing tasks — the real-mode
+// counterpart of the simulated Figure 10 experiment.
+package heatdriver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dynasym/internal/core"
+	"dynasym/internal/dag"
+	"dynasym/internal/kernels"
+	"dynasym/internal/mpilite"
+	"dynasym/internal/topology"
+	"dynasym/internal/workloads"
+	"dynasym/internal/xtr"
+)
+
+// Config parameterizes one rank's run. Every rank must use identical Rows,
+// Cols, Blocks and Iters.
+type Config struct {
+	// Rows is the number of interior rows owned by this rank; Cols the
+	// row width. Two extra ghost rows hold the neighbours' boundaries.
+	Rows, Cols int
+	// Blocks is the number of row blocks (compute tasks per iteration).
+	Blocks int
+	// Iters is the number of Jacobi iterations.
+	Iters int
+	// Topo and Policy configure the local runtime.
+	Topo   *topology.Platform
+	Policy core.Policy
+	// Seed drives the runtime's stealing randomness.
+	Seed uint64
+}
+
+// Result summarizes one rank's run.
+type Result struct {
+	// Tasks is the number of tasks executed by this rank.
+	Tasks int64
+	// Seconds is the rank's makespan.
+	Seconds float64
+	// Residual is the global sum of squares of the final grid (identical
+	// on every rank after the closing Allreduce).
+	Residual float64
+}
+
+// state holds one rank's grids: (Rows+2)×Cols with ghost rows 0 and
+// Rows+1. Iteration i reads grid[i%2] and writes grid[(i+1)%2].
+type state struct {
+	cfg  Config
+	comm mpilite.Comm
+	grid [2][]float64
+}
+
+// Run executes the configured number of iterations and returns the rank's
+// result. It blocks until the whole communicator finishes (final
+// Allreduce).
+func Run(cfg Config, comm mpilite.Comm) (Result, error) {
+	if cfg.Rows < cfg.Blocks || cfg.Blocks < 1 || cfg.Cols < 3 || cfg.Iters < 1 {
+		return Result{}, fmt.Errorf("heatdriver: invalid config %+v", cfg)
+	}
+	st := &state{cfg: cfg, comm: comm}
+	n := (cfg.Rows + 2) * cfg.Cols
+	st.grid[0] = make([]float64, n)
+	st.grid[1] = make([]float64, n)
+	// Deterministic initial condition: a hot left column plus a
+	// rank-dependent hot row so ranks differ.
+	for r := 1; r <= cfg.Rows; r++ {
+		st.grid[0][r*cfg.Cols] = 100
+		st.grid[1][r*cfg.Cols] = 100
+	}
+	hot := 1 + (comm.Rank()*7)%cfg.Rows
+	for c := 0; c < cfg.Cols; c++ {
+		st.grid[0][hot*cfg.Cols+c] = 50
+		st.grid[1][hot*cfg.Cols+c] = 50
+	}
+
+	g := st.build()
+	rt, err := xtr.New(xtr.Config{Topo: cfg.Topo, Policy: cfg.Policy, Seed: cfg.Seed})
+	if err != nil {
+		return Result{}, err
+	}
+	coll, err := rt.Run(g)
+	if err != nil {
+		return Result{}, err
+	}
+	// Global residual: a correctness check that all ranks agree on.
+	local := 0.0
+	final := st.grid[cfg.Iters%2]
+	for r := 1; r <= cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			v := final[r*cfg.Cols+c]
+			local += v * v
+		}
+	}
+	global, err := comm.Allreduce(mpilite.OpSum, []float64{local})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Tasks:    coll.TasksDone(),
+		Seconds:  coll.Makespan(),
+		Residual: global[0],
+	}, nil
+}
+
+// blockRows returns block b's half-open interior row interval (1-based,
+// ghosts excluded).
+func (st *state) blockRows(b int) (lo, hi int) {
+	lo = 1 + b*st.cfg.Rows/st.cfg.Blocks
+	hi = 1 + (b+1)*st.cfg.Rows/st.cfg.Blocks
+	return lo, hi
+}
+
+// exchangeBody swaps boundary rows with both neighbours for iteration
+// iter. Only the leader member performs communication; mpilite's buffered
+// sends prevent symmetric deadlock.
+func (st *state) exchangeBody(iter int) func(dag.Exec) {
+	return func(e dag.Exec) {
+		if e.Part != 0 {
+			return
+		}
+		cols := st.cfg.Cols
+		src := st.grid[iter%2]
+		rank, size := st.comm.Rank(), st.comm.Size()
+		// Send up / receive from up into ghost row 0.
+		if rank > 0 {
+			payload := encodeRow(src[cols : 2*cols])
+			if err := st.comm.Send(rank-1, iter, payload); err != nil {
+				panic(fmt.Sprintf("heatdriver: send up: %v", err))
+			}
+		}
+		if rank < size-1 {
+			payload := encodeRow(src[st.cfg.Rows*cols : (st.cfg.Rows+1)*cols])
+			if err := st.comm.Send(rank+1, iter, payload); err != nil {
+				panic(fmt.Sprintf("heatdriver: send down: %v", err))
+			}
+		}
+		if rank > 0 {
+			data, err := st.comm.Recv(rank-1, iter)
+			if err != nil {
+				panic(fmt.Sprintf("heatdriver: recv up: %v", err))
+			}
+			decodeRow(data, src[0:cols])
+		}
+		if rank < size-1 {
+			data, err := st.comm.Recv(rank+1, iter)
+			if err != nil {
+				panic(fmt.Sprintf("heatdriver: recv down: %v", err))
+			}
+			decodeRow(data, src[(st.cfg.Rows+1)*cols:(st.cfg.Rows+2)*cols])
+		}
+	}
+}
+
+// blockBody updates one block of one iteration.
+func (st *state) blockBody(iter, b int) func(dag.Exec) {
+	return func(e dag.Exec) {
+		cols := st.cfg.Cols
+		src := st.grid[iter%2]
+		dst := st.grid[(iter+1)%2]
+		lo, hi := st.blockRows(b)
+		span := hi - lo
+		mlo := lo + e.Part*span/e.Width
+		mhi := lo + (e.Part+1)*span/e.Width
+		for r := mlo; r < mhi; r++ {
+			row := r * cols
+			for c := 1; c < cols-1; c++ {
+				dst[row+c] = 0.2 * (src[row+c] + src[row+c-1] + src[row+c+1] + src[row-cols+c] + src[row+cols+c])
+			}
+			dst[row] = src[row]
+			dst[row+cols-1] = src[row+cols-1]
+		}
+	}
+}
+
+// build constructs this rank's task graph: per iteration one high-priority
+// exchange task plus Blocks compute tasks, with the same dependency shape
+// as the simulated workload (workloads.HeatDist).
+func (st *state) build() *dag.Graph {
+	g := dag.New()
+	B := st.cfg.Blocks
+	commCost := workloads.NewHeatDist(workloads.HeatDistConfig{
+		Nodes: st.comm.Size(), BlocksPerNode: B, Iters: st.cfg.Iters,
+		RowsPerBlock: st.cfg.Rows / B, Cols: st.cfg.Cols,
+	})
+	prev := make([]*dag.Task, B)
+	var prevComm *dag.Task
+	for iter := 0; iter < st.cfg.Iters; iter++ {
+		comm := &dag.Task{
+			Label: fmt.Sprintf("exchange[%d]", iter),
+			Type:  kernels.TypeComm,
+			High:  true,
+			Cost:  commCost.CommCost,
+			Body:  st.exchangeBody(iter),
+			Iter:  iter,
+		}
+		var cdeps []*dag.Task
+		if prevComm != nil {
+			cdeps = append(cdeps, prevComm, prev[0])
+			if B > 1 {
+				cdeps = append(cdeps, prev[B-1])
+			}
+		}
+		g.Add(comm, cdeps...)
+		prevComm = comm
+
+		cur := make([]*dag.Task, B)
+		for b := 0; b < B; b++ {
+			t := &dag.Task{
+				Label: fmt.Sprintf("heat[%d.%d]", iter, b),
+				Type:  workloads.HeatTypeCompute,
+				Cost:  commCost.ComputeCost,
+				Body:  st.blockBody(iter, b),
+				Iter:  iter,
+			}
+			// Only the edge blocks read ghost rows, so only they wait
+			// for the exchange (same shape as the simulated workload).
+			var deps []*dag.Task
+			if b == 0 || b == B-1 {
+				deps = append(deps, comm)
+			}
+			if iter > 0 {
+				deps = append(deps, prev[b])
+				if b > 0 {
+					deps = append(deps, prev[b-1])
+				}
+				if b < B-1 {
+					deps = append(deps, prev[b+1])
+				}
+			}
+			g.Add(t, deps...)
+			cur[b] = t
+		}
+		prev = cur
+	}
+	return g
+}
+
+// encodeRow packs a float64 row little-endian.
+func encodeRow(row []float64) []byte {
+	buf := make([]byte, 8*len(row))
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeRow unpacks a row in place.
+func decodeRow(data []byte, into []float64) {
+	for i := range into {
+		into[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}

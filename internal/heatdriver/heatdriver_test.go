@@ -1,0 +1,82 @@
+package heatdriver
+
+import (
+	"sync"
+	"testing"
+
+	"dynasym/internal/core"
+	"dynasym/internal/mpilite"
+	"dynasym/internal/topology"
+)
+
+// runAll executes a full communicator in-process and returns the results.
+func runAll(t *testing.T, ranks int, cfg Config) []Result {
+	t.Helper()
+	comms := mpilite.NewInProc(ranks)
+	results := make([]Result, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = Run(cfg, comms[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+func baseCfg(pol core.Policy) Config {
+	return Config{
+		Rows: 32, Cols: 32, Blocks: 4, Iters: 12,
+		Topo:   topology.Symmetric(2),
+		Policy: pol,
+		Seed:   3,
+	}
+}
+
+func TestRanksAgreeOnResidual(t *testing.T) {
+	results := runAll(t, 3, baseCfg(core.DAMC()))
+	for r := 1; r < len(results); r++ {
+		if results[r].Residual != results[0].Residual {
+			t.Fatalf("rank %d residual %g != rank 0 %g", r, results[r].Residual, results[0].Residual)
+		}
+	}
+	want := int64(12 * (4 + 1))
+	for r, res := range results {
+		if res.Tasks != want {
+			t.Fatalf("rank %d executed %d tasks, want %d", r, res.Tasks, want)
+		}
+	}
+}
+
+func TestPolicyIndependentResult(t *testing.T) {
+	// The numerical result must not depend on the scheduling policy.
+	r1 := runAll(t, 2, baseCfg(core.RWS()))
+	r2 := runAll(t, 2, baseCfg(core.DAMP()))
+	if r1[0].Residual != r2[0].Residual {
+		t.Fatalf("policy changed the result: %g vs %g", r1[0].Residual, r2[0].Residual)
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	res := runAll(t, 1, baseCfg(core.DAMC()))
+	if res[0].Residual <= 0 {
+		t.Fatal("single-rank run produced no heat")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	comms := mpilite.NewInProc(1)
+	cfg := baseCfg(core.RWS())
+	cfg.Blocks = 0
+	if _, err := Run(cfg, comms[0]); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

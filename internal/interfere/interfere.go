@@ -1,0 +1,84 @@
+// Package interfere builds the paper's interference scenarios by installing
+// time-varying profiles into a machine model:
+//
+//   - co-running applications that time-share victim cores (CPU
+//     interference) and optionally consume memory bandwidth (memory
+//     interference);
+//   - DVFS square waves on a cluster's clock (power-management
+//     interference).
+//
+// The scenarios only touch the model; the schedulers observe them purely
+// through task execution times, exactly as applications observe real
+// interference.
+package interfere
+
+import (
+	"math"
+
+	"dynasym/internal/machine"
+	"dynasym/internal/profile"
+)
+
+// CoRunCPU models a compute-bound co-runner (the paper's serial matmul
+// chain) pinned to the given cores for the whole run: the OS time-shares
+// each victim core, leaving `share` of its cycles to the runtime (0.5 for
+// one equal-priority co-runner).
+func CoRunCPU(m *machine.Model, cores []int, share float64) {
+	for _, c := range cores {
+		m.SetCoreAvail(c, profile.Constant(share))
+	}
+}
+
+// CoRunCPUEpisode is CoRunCPU limited to the interval [from, to) seconds.
+func CoRunCPUEpisode(m *machine.Model, cores []int, share, from, to float64) {
+	for _, c := range cores {
+		m.SetCoreAvail(c, profile.Episode(1.0, share, from, to))
+	}
+}
+
+// CoRunMemory models a memory-bound co-runner (the paper's serial copy
+// chain) pinned to one core: the victim core time-shares its cycles and the
+// whole victim cluster loses a fraction of its memory bandwidth to the
+// co-runner's streaming.
+func CoRunMemory(m *machine.Model, core int, share, bwFactor float64) {
+	m.SetCoreAvail(core, profile.Constant(share))
+	ci := m.Platform().ClusterOf(core)
+	base := m.Platform().Cluster(ci).MemBandwidth
+	m.SetClusterBandwidth(ci, profile.Constant(base*bwFactor))
+}
+
+// DVFS installs the paper's power-management scenario: the cluster's clock
+// alternates between hiHz (for hiDur seconds) and loHz (for loDur seconds),
+// repeating forever. The paper uses 2035 MHz / 345 MHz with 5 s + 5 s.
+func DVFS(m *machine.Model, cluster int, hiHz, loHz, hiDur, loDur float64) {
+	m.SetClusterFreq(cluster, profile.SquareWave(hiHz, loHz, hiDur, loDur))
+}
+
+// PaperDVFS applies the exact DVFS parameters from the paper's Section 5.2
+// to the given cluster.
+func PaperDVFS(m *machine.Model, cluster int) {
+	DVFS(m, cluster, 2035e6, 345e6, 5, 5)
+}
+
+// Stall models a transient full stall of a core (failure injection beyond
+// the paper: the core contributes nothing during [from, to)). Schedulers
+// must route around it or wait it out.
+func Stall(m *machine.Model, core int, from, to float64) {
+	m.SetCoreAvail(core, profile.Episode(1.0, 0.0, from, to))
+}
+
+// Flaky installs a repeating availability square wave on a core: available
+// for upDur seconds, then only `share` available for downDur seconds.
+func Flaky(m *machine.Model, core int, share, upDur, downDur float64) {
+	m.SetCoreAvail(core, profile.SquareWave(1.0, share, upDur, downDur))
+}
+
+// SlowestAvail returns the minimum availability the model ever assigns to
+// the core (diagnostics for tests).
+func SlowestAvail(m *machine.Model, core int) float64 {
+	p := m.CoreAvail(core)
+	if p == nil {
+		return math.NaN()
+	}
+	return p.Min()
+}

@@ -1,0 +1,94 @@
+package interfere
+
+import (
+	"math"
+	"testing"
+
+	"dynasym/internal/machine"
+	"dynasym/internal/topology"
+)
+
+func newModel() *machine.Model {
+	return machine.New(topology.TX2())
+}
+
+func TestCoRunCPU(t *testing.T) {
+	m := newModel()
+	CoRunCPU(m, []int{0, 2}, 0.5)
+	for _, c := range []int{0, 2} {
+		if v := m.CoreAvail(c).At(3); v != 0.5 {
+			t.Fatalf("core %d avail %g, want 0.5", c, v)
+		}
+	}
+	if v := m.CoreAvail(1).At(3); v != 1.0 {
+		t.Fatal("untouched core lost availability")
+	}
+}
+
+func TestCoRunCPUEpisode(t *testing.T) {
+	m := newModel()
+	CoRunCPUEpisode(m, []int{1}, 0.4, 2, 5)
+	p := m.CoreAvail(1)
+	for _, c := range []struct{ at, want float64 }{
+		{1, 1}, {2, 0.4}, {4.9, 0.4}, {5, 1},
+	} {
+		if v := p.At(c.at); v != c.want {
+			t.Fatalf("At(%g) = %g, want %g", c.at, v, c.want)
+		}
+	}
+}
+
+func TestCoRunMemory(t *testing.T) {
+	m := newModel()
+	CoRunMemory(m, 0, 0.5, 0.8)
+	if v := m.CoreAvail(0).At(0); v != 0.5 {
+		t.Fatal("victim core not time-shared")
+	}
+	base := m.Platform().Cluster(0).MemBandwidth
+	if v := m.ClusterBandwidth(0).At(0); math.Abs(v-base*0.8) > 1 {
+		t.Fatalf("cluster bandwidth %g, want %g", v, base*0.8)
+	}
+	// The other cluster keeps its bandwidth.
+	if v := m.ClusterBandwidth(1).At(0); v != m.Platform().Cluster(1).MemBandwidth {
+		t.Fatal("non-victim cluster bandwidth changed")
+	}
+}
+
+func TestPaperDVFS(t *testing.T) {
+	m := newModel()
+	PaperDVFS(m, 0)
+	f := m.ClusterFreq(0)
+	if v := f.At(0); v != 2035e6 {
+		t.Fatalf("high phase %g", v)
+	}
+	if v := f.At(7); v != 345e6 {
+		t.Fatalf("low phase %g", v)
+	}
+	if v := f.At(12); v != 2035e6 {
+		t.Fatalf("wrap-around %g", v)
+	}
+}
+
+func TestStall(t *testing.T) {
+	m := newModel()
+	Stall(m, 3, 1, 2)
+	p := m.CoreAvail(3)
+	if p.At(1.5) != 0 {
+		t.Fatal("stall not applied")
+	}
+	if p.At(2.5) != 1 {
+		t.Fatal("stall did not end")
+	}
+	if SlowestAvail(m, 3) != 0 {
+		t.Fatal("SlowestAvail wrong")
+	}
+}
+
+func TestFlaky(t *testing.T) {
+	m := newModel()
+	Flaky(m, 2, 0.3, 1, 1)
+	p := m.CoreAvail(2)
+	if p.At(0.5) != 1 || p.At(1.5) != 0.3 || p.At(2.5) != 1 {
+		t.Fatal("flaky wave wrong")
+	}
+}

@@ -1,0 +1,35 @@
+package kernels
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinBarrier is a reusable sense-reversing barrier for the members of one
+// moldable task. Widths are small (≤ the largest cluster) and waits are
+// short, so spinning with Gosched is cheaper than channel parking.
+type SpinBarrier struct {
+	arrived atomic.Int32
+	gen     atomic.Uint32
+}
+
+// NewSpinBarrier returns a barrier ready for use by any number of rounds.
+func NewSpinBarrier() *SpinBarrier { return &SpinBarrier{} }
+
+// Wait blocks until width participants have called Wait for the current
+// round. The last arriver resets the barrier and releases the others, so
+// the same barrier can be reused for subsequent rounds.
+func (b *SpinBarrier) Wait(width int) {
+	if width <= 1 {
+		return
+	}
+	g := b.gen.Load()
+	if b.arrived.Add(1) == int32(width) {
+		b.arrived.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		runtime.Gosched()
+	}
+}

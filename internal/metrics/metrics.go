@@ -1,0 +1,184 @@
+// Package metrics collects execution statistics from the runtimes: per-core
+// kernel work time (paper Figure 6), priority-task place distributions
+// (Figure 5), per-iteration timings and place selections (Figure 9), and
+// overall throughput (Figures 4, 7, 10).
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"dynasym/internal/ptt"
+	"dynasym/internal/topology"
+)
+
+// Collector accumulates statistics for one run. It is safe for concurrent
+// use; the simulated runtime calls it from one goroutine, the real runtime
+// from many workers.
+type Collector struct {
+	topo *topology.Platform
+
+	mu        sync.Mutex
+	coreBusy  []float64
+	placeAll  map[int]int64 // placeID → tasks executed there
+	placeHigh map[int]int64 // placeID → high-priority tasks executed there
+	byIter    map[int]*IterStat
+	tasksDone int64
+	makespan  float64
+}
+
+// IterStat aggregates one application iteration (Figure 9).
+type IterStat struct {
+	Iter  int
+	Tasks int64
+	// Start and End are the earliest task start and latest task finish
+	// observed for the iteration, so End-Start approximates the
+	// iteration's wall time.
+	Start, End float64
+	// Places counts tasks per placeID within the iteration.
+	Places map[int]int64
+}
+
+// NewCollector returns an empty collector for the platform.
+func NewCollector(topo *topology.Platform) *Collector {
+	return &Collector{
+		topo:      topo,
+		coreBusy:  make([]float64, topo.NumCores()),
+		placeAll:  make(map[int]int64),
+		placeHigh: make(map[int]int64),
+		byIter:    make(map[int]*IterStat),
+	}
+}
+
+// TaskDone records one completed task execution.
+func (c *Collector) TaskDone(pl topology.Place, high bool, _ ptt.TypeID, iter int, start, finish float64) {
+	id := c.topo.PlaceID(pl)
+	span := finish - start
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tasksDone++
+	c.placeAll[id]++
+	if high {
+		c.placeHigh[id]++
+	}
+	for i := 0; i < pl.Width; i++ {
+		c.coreBusy[pl.Leader+i] += span
+	}
+	if iter >= 0 {
+		st := c.byIter[iter]
+		if st == nil {
+			st = &IterStat{Iter: iter, Start: start, End: finish, Places: make(map[int]int64)}
+			c.byIter[iter] = st
+		}
+		st.Tasks++
+		if start < st.Start {
+			st.Start = start
+		}
+		if finish > st.End {
+			st.End = finish
+		}
+		st.Places[id]++
+	}
+}
+
+// SetMakespan records the total execution time of the run.
+func (c *Collector) SetMakespan(t float64) {
+	c.mu.Lock()
+	c.makespan = t
+	c.mu.Unlock()
+}
+
+// Makespan returns the recorded total execution time.
+func (c *Collector) Makespan() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.makespan
+}
+
+// TasksDone returns the number of completed tasks.
+func (c *Collector) TasksDone() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tasksDone
+}
+
+// Throughput returns completed tasks per second of makespan (the paper's
+// headline metric), or 0 when no makespan was recorded.
+func (c *Collector) Throughput() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.makespan <= 0 {
+		return 0
+	}
+	return float64(c.tasksDone) / c.makespan
+}
+
+// CoreBusy returns the per-core accumulated kernel work time in seconds
+// (excluding runtime activity and idleness, like the paper's Figure 6).
+func (c *Collector) CoreBusy() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.coreBusy...)
+}
+
+// PlaceShare describes one execution place's share of task executions.
+type PlaceShare struct {
+	Place topology.Place
+	Count int64
+	Frac  float64
+}
+
+// PlaceHistogram returns the distribution of tasks over execution places,
+// restricted to high-priority tasks when highOnly is set, sorted by
+// descending count then place order. Fractions sum to 1 when any tasks
+// were recorded.
+func (c *Collector) PlaceHistogram(highOnly bool) []PlaceShare {
+	c.mu.Lock()
+	src := c.placeAll
+	if highOnly {
+		src = c.placeHigh
+	}
+	var total int64
+	out := make([]PlaceShare, 0, len(src))
+	places := c.topo.Places()
+	for id, n := range src {
+		out = append(out, PlaceShare{Place: places[id], Count: n})
+		total += n
+	}
+	c.mu.Unlock()
+	for i := range out {
+		if total > 0 {
+			out[i].Frac = float64(out[i].Count) / float64(total)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Place.Leader != out[j].Place.Leader {
+			return out[i].Place.Leader < out[j].Place.Leader
+		}
+		return out[i].Place.Width < out[j].Place.Width
+	})
+	return out
+}
+
+// IterStats returns the per-iteration statistics ordered by iteration.
+func (c *Collector) IterStats() []IterStat {
+	c.mu.Lock()
+	out := make([]IterStat, 0, len(c.byIter))
+	for _, st := range c.byIter {
+		cp := *st
+		cp.Places = make(map[int]int64, len(st.Places))
+		for k, v := range st.Places {
+			cp.Places[k] = v
+		}
+		out = append(out, cp)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })
+	return out
+}
+
+// Platform returns the platform the collector indexes places against.
+func (c *Collector) Platform() *topology.Platform { return c.topo }

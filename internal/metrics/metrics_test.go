@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dynasym/internal/topology"
+)
+
+func TestThroughputAndMakespan(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	for i := 0; i < 10; i++ {
+		c.TaskDone(topology.Place{Leader: 0, Width: 1}, false, 0, -1, float64(i), float64(i)+0.5)
+	}
+	c.SetMakespan(10)
+	if c.TasksDone() != 10 {
+		t.Fatalf("tasks = %d", c.TasksDone())
+	}
+	if got := c.Throughput(); got != 1 {
+		t.Fatalf("throughput = %g, want 1", got)
+	}
+	if c.Makespan() != 10 {
+		t.Fatalf("makespan = %g", c.Makespan())
+	}
+}
+
+func TestCoreBusyAccumulatesPerMember(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	c.TaskDone(topology.Place{Leader: 2, Width: 4}, false, 0, -1, 0, 2)
+	busy := c.CoreBusy()
+	for core := 2; core <= 5; core++ {
+		if busy[core] != 2 {
+			t.Fatalf("core %d busy %g, want 2", core, busy[core])
+		}
+	}
+	if busy[0] != 0 || busy[1] != 0 {
+		t.Fatal("non-member cores accumulated time")
+	}
+}
+
+func TestPlaceHistogram(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	hi := topology.Place{Leader: 1, Width: 1}
+	lo := topology.Place{Leader: 2, Width: 2}
+	for i := 0; i < 3; i++ {
+		c.TaskDone(hi, true, 0, -1, 0, 1)
+	}
+	c.TaskDone(lo, false, 0, -1, 0, 1)
+	all := c.PlaceHistogram(false)
+	if len(all) != 2 || all[0].Place != hi || all[0].Count != 3 {
+		t.Fatalf("all hist = %+v", all)
+	}
+	if math.Abs(all[0].Frac-0.75) > 1e-12 {
+		t.Fatalf("frac = %g", all[0].Frac)
+	}
+	high := c.PlaceHistogram(true)
+	if len(high) != 1 || high[0].Count != 3 || high[0].Frac != 1 {
+		t.Fatalf("high hist = %+v", high)
+	}
+}
+
+func TestIterStats(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	c.TaskDone(topology.Place{Leader: 0, Width: 1}, false, 0, 1, 2.0, 2.5)
+	c.TaskDone(topology.Place{Leader: 1, Width: 1}, false, 0, 1, 1.5, 2.2)
+	c.TaskDone(topology.Place{Leader: 0, Width: 1}, false, 0, 0, 0.0, 1.0)
+	st := c.IterStats()
+	if len(st) != 2 || st[0].Iter != 0 || st[1].Iter != 1 {
+		t.Fatalf("iters = %+v", st)
+	}
+	if st[1].Start != 1.5 || st[1].End != 2.5 || st[1].Tasks != 2 {
+		t.Fatalf("iter 1 = %+v", st[1])
+	}
+	if st[1].Places[c.Platform().PlaceID(topology.Place{Leader: 0, Width: 1})] != 1 {
+		t.Fatal("iter place counts wrong")
+	}
+}
+
+func TestNegativeIterIgnored(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	c.TaskDone(topology.Place{Leader: 0, Width: 1}, false, 0, -1, 0, 1)
+	if len(c.IterStats()) != 0 {
+		t.Fatal("iter -1 recorded")
+	}
+}
+
+func TestConcurrentTaskDone(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.TaskDone(topology.Place{Leader: 0, Width: 1}, i%2 == 0, 0, i%4, 0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.TasksDone() != 4000 {
+		t.Fatalf("tasks = %d, want 4000", c.TasksDone())
+	}
+}
+
+func TestZeroMakespanThroughput(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	if c.Throughput() != 0 {
+		t.Fatal("throughput without makespan should be 0")
+	}
+}

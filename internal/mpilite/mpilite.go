@@ -1,0 +1,331 @@
+// Package mpilite is a small rank-based message-passing substrate in the
+// spirit of the MPI subset the paper's distributed 2D Heat stencil needs:
+// point-to-point Send/Recv with tags, Sendrecv for boundary exchange,
+// Barrier, and Allreduce for residual reduction.
+//
+// Two transports are provided:
+//
+//   - InProc: all ranks in one process, delivery through in-memory inboxes
+//     (used by tests and by multi-goroutine example runs);
+//   - TCP (see tcp.go): one process per rank on a real network, stdlib
+//     net with length-prefixed binary framing, substituting for the
+//     paper's Intel MPI over InfiniBand.
+//
+// The package is intentionally blocking and deterministic in-order per
+// (sender, tag) pair, like MPI's non-overtaking rule.
+package mpilite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Comm is one rank's endpoint of a communicator.
+type Comm interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers data to rank `to` under the tag. It may buffer; it
+	// never blocks waiting for the receiver.
+	Send(to, tag int, data []byte) error
+	// Recv blocks until a message from rank `from` with the tag arrives
+	// and returns its payload. Messages from the same (from, tag) pair
+	// arrive in send order.
+	Recv(from, tag int) ([]byte, error)
+	// Sendrecv sends to `to` and receives from `from` with the same tag,
+	// without deadlocking on symmetric exchanges.
+	Sendrecv(to, tag int, data []byte, from int) ([]byte, error)
+	// Barrier blocks until every rank has entered it.
+	Barrier() error
+	// Allreduce combines each rank's vector elementwise with op and
+	// returns the combined vector on every rank.
+	Allreduce(op ReduceOp, vals []float64) ([]float64, error)
+	// Close releases the endpoint. Pending receivers fail.
+	Close() error
+}
+
+// ReduceOp is an elementwise reduction operator.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("mpilite: unknown ReduceOp %d", int(op)))
+	}
+}
+
+// Reserved internal tags; applications must use tags in [0, 1<<30).
+const (
+	tagBarrierGather  = 1<<30 + iota // rank → 0
+	tagBarrierRelease                // 0 → rank
+	tagReduceGather
+	tagReduceBcast
+)
+
+// maxUserTag is the first invalid application tag.
+const maxUserTag = 1 << 30
+
+type msgKey struct {
+	from, tag int
+}
+
+// inbox queues incoming messages and matches them to blocked receivers.
+type inbox struct {
+	mu     sync.Mutex
+	queues map[msgKey][][]byte
+	waits  map[msgKey][]chan []byte
+	closed bool
+}
+
+func newInbox() *inbox {
+	return &inbox{queues: make(map[msgKey][][]byte), waits: make(map[msgKey][]chan []byte)}
+}
+
+// deliver hands an incoming payload to a waiting receiver or queues it.
+func (ib *inbox) deliver(from, tag int, data []byte) {
+	k := msgKey{from, tag}
+	ib.mu.Lock()
+	if ws := ib.waits[k]; len(ws) > 0 {
+		ch := ws[0]
+		if len(ws) == 1 {
+			delete(ib.waits, k)
+		} else {
+			ib.waits[k] = ws[1:]
+		}
+		ib.mu.Unlock()
+		ch <- data
+		return
+	}
+	ib.queues[k] = append(ib.queues[k], data)
+	ib.mu.Unlock()
+}
+
+// recv blocks until a message for the key is available.
+func (ib *inbox) recv(from, tag int) ([]byte, error) {
+	k := msgKey{from, tag}
+	ib.mu.Lock()
+	if ib.closed {
+		ib.mu.Unlock()
+		return nil, fmt.Errorf("mpilite: communicator closed")
+	}
+	if q := ib.queues[k]; len(q) > 0 {
+		data := q[0]
+		if len(q) == 1 {
+			delete(ib.queues, k)
+		} else {
+			ib.queues[k] = q[1:]
+		}
+		ib.mu.Unlock()
+		return data, nil
+	}
+	ch := make(chan []byte, 1)
+	ib.waits[k] = append(ib.waits[k], ch)
+	ib.mu.Unlock()
+	data, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("mpilite: communicator closed while receiving")
+	}
+	return data, nil
+}
+
+// close fails all blocked receivers.
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	for k, ws := range ib.waits {
+		for _, ch := range ws {
+			close(ch)
+		}
+		delete(ib.waits, k)
+	}
+	ib.mu.Unlock()
+}
+
+// validate checks rank and tag arguments shared by the transports.
+// Internal collective tags (≥ maxUserTag) are legal here; the documented
+// application range is [0, maxUserTag).
+func validate(size, self, peer, tag int) error {
+	if peer < 0 || peer >= size {
+		return fmt.Errorf("mpilite: rank %d out of range 0..%d", peer, size-1)
+	}
+	if peer == self {
+		return fmt.Errorf("mpilite: self-messaging (rank %d) is not supported", self)
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpilite: negative tag %d", tag)
+	}
+	return nil
+}
+
+// collectives implements Barrier and Allreduce on top of Send/Recv; both
+// transports embed it.
+type collectives struct {
+	comm Comm
+}
+
+func (c collectives) barrier() error {
+	self, size := c.comm.Rank(), c.comm.Size()
+	if size == 1 {
+		return nil
+	}
+	if self == 0 {
+		for r := 1; r < size; r++ {
+			if _, err := c.comm.Recv(r, tagBarrierGather); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < size; r++ {
+			if err := c.comm.Send(r, tagBarrierRelease, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.comm.Send(0, tagBarrierGather, nil); err != nil {
+		return err
+	}
+	_, err := c.comm.Recv(0, tagBarrierRelease)
+	return err
+}
+
+func (c collectives) allreduce(op ReduceOp, vals []float64) ([]float64, error) {
+	self, size := c.comm.Rank(), c.comm.Size()
+	out := append([]float64(nil), vals...)
+	if size == 1 {
+		return out, nil
+	}
+	if self == 0 {
+		for r := 1; r < size; r++ {
+			data, err := c.comm.Recv(r, tagReduceGather)
+			if err != nil {
+				return nil, err
+			}
+			peer, err := decodeFloats(data)
+			if err != nil {
+				return nil, err
+			}
+			if len(peer) != len(out) {
+				return nil, fmt.Errorf("mpilite: allreduce length mismatch: %d vs %d", len(peer), len(out))
+			}
+			for i := range out {
+				out[i] = op.apply(out[i], peer[i])
+			}
+		}
+		enc := encodeFloats(out)
+		for r := 1; r < size; r++ {
+			if err := c.comm.Send(r, tagReduceBcast, enc); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if err := c.comm.Send(0, tagReduceGather, encodeFloats(out)); err != nil {
+		return nil, err
+	}
+	data, err := c.comm.Recv(0, tagReduceBcast)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloats(data)
+}
+
+// encodeFloats packs a float64 slice little-endian.
+func encodeFloats(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeFloats unpacks a little-endian float64 slice.
+func decodeFloats(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("mpilite: float payload length %d not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// inprocComm is one rank of an in-process communicator.
+type inprocComm struct {
+	rank  int
+	peers []*inbox // indexed by rank; peers[rank] is our own inbox
+	coll  collectives
+}
+
+// NewInProc builds an n-rank in-process communicator and returns the n
+// endpoints. Endpoints are safe for concurrent use by multiple goroutines
+// of the same rank.
+func NewInProc(n int) []Comm {
+	if n <= 0 {
+		panic("mpilite: NewInProc needs n >= 1")
+	}
+	inboxes := make([]*inbox, n)
+	for i := range inboxes {
+		inboxes[i] = newInbox()
+	}
+	comms := make([]Comm, n)
+	for i := range comms {
+		c := &inprocComm{rank: i, peers: inboxes}
+		c.coll = collectives{comm: c}
+		comms[i] = c
+	}
+	return comms
+}
+
+func (c *inprocComm) Rank() int { return c.rank }
+func (c *inprocComm) Size() int { return len(c.peers) }
+
+func (c *inprocComm) Send(to, tag int, data []byte) error {
+	if err := validate(len(c.peers), c.rank, to, tag); err != nil {
+		return err
+	}
+	// Copy so the sender may reuse its buffer, like MPI's send semantics.
+	c.peers[to].deliver(c.rank, tag, append([]byte(nil), data...))
+	return nil
+}
+
+func (c *inprocComm) Recv(from, tag int) ([]byte, error) {
+	if err := validate(len(c.peers), c.rank, from, tag); err != nil {
+		return nil, err
+	}
+	return c.peers[c.rank].recv(from, tag)
+}
+
+func (c *inprocComm) Sendrecv(to, tag int, data []byte, from int) ([]byte, error) {
+	if err := c.Send(to, tag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv(from, tag)
+}
+
+func (c *inprocComm) Barrier() error { return c.coll.barrier() }
+
+func (c *inprocComm) Allreduce(op ReduceOp, vals []float64) ([]float64, error) {
+	return c.coll.allreduce(op, vals)
+}
+
+func (c *inprocComm) Close() error {
+	c.peers[c.rank].close()
+	return nil
+}

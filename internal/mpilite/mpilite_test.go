@@ -1,0 +1,248 @@
+package mpilite
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInProcSendRecv(t *testing.T) {
+	comms := NewInProc(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		data, err := comms[1].Recv(0, 7)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if string(data) != "hello" {
+			t.Errorf("got %q", data)
+		}
+	}()
+	if err := comms[0].Send(1, 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestInProcOrderingPerTag(t *testing.T) {
+	comms := NewInProc(2)
+	for i := 0; i < 100; i++ {
+		if err := comms[0].Send(1, 3, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		data, err := comms[1].Recv(0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte(i) {
+			t.Fatalf("message %d arrived out of order (%d)", i, data[0])
+		}
+	}
+}
+
+func TestSendrecvSymmetricNoDeadlock(t *testing.T) {
+	comms := NewInProc(2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			peer := 1 - r
+			got, err := comms[r].Sendrecv(peer, 1, []byte{byte(r)}, peer)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			if got[0] != byte(peer) {
+				t.Errorf("rank %d got %d", r, got[0])
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 4
+	comms := NewInProc(n)
+	var phase [n]int
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			phase[r] = 1
+			if err := comms[r].Barrier(); err != nil {
+				t.Errorf("barrier: %v", err)
+				return
+			}
+			// Everyone must have reached phase 1 by now.
+			for i := 0; i < n; i++ {
+				if phase[i] != 1 {
+					t.Errorf("rank %d passed barrier before rank %d arrived", r, i)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestAllreduce(t *testing.T) {
+	const n = 3
+	comms := NewInProc(n)
+	var wg sync.WaitGroup
+	results := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out, err := comms[r].Allreduce(OpSum, []float64{float64(r + 1), float64(r)})
+			if err != nil {
+				t.Errorf("allreduce: %v", err)
+				return
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if results[r][0] != 6 || results[r][1] != 3 {
+			t.Fatalf("rank %d got %v, want [6 3]", r, results[r])
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	comms := NewInProc(2)
+	var wg sync.WaitGroup
+	var maxOut, minOut []float64
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		maxOut, _ = comms[0].Allreduce(OpMax, []float64{1})
+		minOut, _ = comms[0].Allreduce(OpMin, []float64{1})
+	}()
+	go func() {
+		defer wg.Done()
+		comms[1].Allreduce(OpMax, []float64{5})
+		comms[1].Allreduce(OpMin, []float64{5})
+	}()
+	wg.Wait()
+	if maxOut[0] != 5 || minOut[0] != 1 {
+		t.Fatalf("max=%v min=%v", maxOut, minOut)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	comms := NewInProc(2)
+	if err := comms[0].Send(0, 1, nil); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := comms[0].Send(5, 1, nil); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if err := comms[0].Send(1, -1, nil); err == nil {
+		t.Fatal("negative tag accepted")
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	comms := NewInProc(2)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := comms[0].Recv(1, 1)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	comms[0].Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("closed Recv returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+// freeAddr reserves an ephemeral localhost address for a test bootstrap.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestTCPLoopback(t *testing.T) {
+	const n = 3
+	addr := freeAddr(t)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	results := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := DialTCP(r, n, addr, 15*time.Second)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer comm.Close()
+			// Ring exchange: send to (r+1) mod n, receive from (r-1).
+			next, prev := (r+1)%n, (r+n-1)%n
+			if err := comm.Send(next, 4, []byte(fmt.Sprintf("from-%d", r))); err != nil {
+				errs[r] = err
+				return
+			}
+			data, err := comm.Recv(prev, 4)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if string(data) != fmt.Sprintf("from-%d", prev) {
+				errs[r] = fmt.Errorf("rank %d got %q", r, data)
+				return
+			}
+			if err := comm.Barrier(); err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], errs[r] = comm.Allreduce(OpSum, []float64{float64(r)})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if results[r][0] != 3 {
+			t.Fatalf("rank %d allreduce = %v", r, results[r])
+		}
+	}
+}
+
+func TestFloatCodecRoundTrip(t *testing.T) {
+	in := []float64{0, 1.5, -2.25, 1e300, -1e-300}
+	out, err := decodeFloats(encodeFloats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("roundtrip[%d] = %g, want %g", i, out[i], in[i])
+		}
+	}
+	if _, err := decodeFloats([]byte{1, 2, 3}); err == nil {
+		t.Fatal("odd-length payload accepted")
+	}
+}

@@ -1,0 +1,445 @@
+package mpilite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// The TCP transport runs one process (or one endpoint) per rank over a real
+// network, substituting for the paper's Intel MPI over InfiniBand.
+//
+// Bootstrap protocol: rank 0 listens on a well-known address; every other
+// rank dials it, announces its rank and its own listener address, and
+// receives the full address table once all ranks have registered. Each
+// rank then eagerly completes a full mesh: it dials every lower-ranked
+// peer and waits for the inbound connections of higher-ranked peers, so
+// every unordered pair owns exactly one connection and no dial races are
+// possible.
+//
+// Wire format, little-endian:
+//
+//	handshake: u32 magic, u32 rank
+//	frame:     u32 from, u32 tag, u32 length, payload
+const wireMagic = 0x4d50494c // "MPIL"
+
+// maxFrame bounds a frame payload to catch corrupted length prefixes.
+const maxFrame = 1 << 30
+
+// tcpComm is one rank of a TCP communicator.
+type tcpComm struct {
+	rank, size int
+	inbox      *inbox
+	coll       collectives
+
+	listener net.Listener
+	addrs    []string // rank → dialable address
+
+	mu    sync.Mutex
+	conns map[int]net.Conn // rank → established connection
+
+	closed  sync.Once
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// DialTCP creates the endpoint for `rank` in a size-rank communicator whose
+// rank 0 bootstraps at rootAddr (e.g. "127.0.0.1:7000"). All ranks must
+// call DialTCP concurrently; the call returns once the address table is
+// complete. timeout bounds the whole bootstrap.
+func DialTCP(rank, size int, rootAddr string, timeout time.Duration) (Comm, error) {
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpilite: rank %d out of range 0..%d", rank, size-1)
+	}
+	c := &tcpComm{
+		rank:    rank,
+		size:    size,
+		inbox:   newInbox(),
+		conns:   make(map[int]net.Conn),
+		closeCh: make(chan struct{}),
+	}
+	c.coll = collectives{comm: c}
+
+	deadline := time.Now().Add(timeout)
+	var err error
+	if rank == 0 {
+		err = c.bootstrapRoot(rootAddr, deadline)
+	} else {
+		err = c.bootstrapPeer(rootAddr, deadline)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Accept loop for inbound peer connections (from higher ranks), then
+	// complete the mesh eagerly: every rank dials all lower ranks, so by
+	// the time DialTCP returns each pair has exactly one connection.
+	c.wg.Add(1)
+	go c.acceptLoop()
+	if err := c.completeMesh(deadline); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// completeMesh dials every lower-ranked peer (the connection to rank 0
+// already exists from the bootstrap) and waits until every higher-ranked
+// peer has dialed us.
+func (c *tcpComm) completeMesh(deadline time.Time) error {
+	for r := 1; r < c.rank; r++ {
+		conn, err := net.DialTimeout("tcp", c.addrs[r], time.Until(deadline))
+		if err != nil {
+			return fmt.Errorf("mpilite: dial rank %d: %w", r, err)
+		}
+		if err := writeRegistration(conn, c.rank, c.listener.Addr().String()); err != nil {
+			conn.Close()
+			return err
+		}
+		c.adoptConn(r, conn)
+	}
+	for {
+		c.mu.Lock()
+		n := len(c.conns)
+		c.mu.Unlock()
+		if n >= c.size-1 {
+			debugf("rank %d mesh complete (%d peers)", c.rank, n)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mpilite: rank %d mesh incomplete: %d/%d connections", c.rank, n, c.size-1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// bootstrapRoot collects every rank's listener address and broadcasts the
+// table.
+func (c *tcpComm) bootstrapRoot(rootAddr string, deadline time.Time) error {
+	ln, err := net.Listen("tcp", rootAddr)
+	if err != nil {
+		return fmt.Errorf("mpilite: root listen: %w", err)
+	}
+	c.listener = ln
+	c.addrs = make([]string, c.size)
+	c.addrs[0] = ln.Addr().String()
+	type reg struct {
+		rank int
+		addr string
+		conn net.Conn
+	}
+	regs := make([]reg, 0, c.size-1)
+	for len(regs) < c.size-1 {
+		if dl, ok := ln.(*net.TCPListener); ok {
+			if err := dl.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpilite: root accept: %w", err)
+		}
+		// Bound the handshake read so a foreign or dead connection cannot
+		// hang the bootstrap.
+		conn.SetReadDeadline(deadline)
+		peerRank, addr, err := readRegistration(conn)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if peerRank <= 0 || peerRank >= c.size || c.addrs[peerRank] != "" {
+			conn.Close()
+			return fmt.Errorf("mpilite: bad registration from rank %d", peerRank)
+		}
+		c.addrs[peerRank] = addr
+		regs = append(regs, reg{rank: peerRank, addr: addr, conn: conn})
+	}
+	// Broadcast the table; the registration connection becomes the
+	// messaging connection between 0 and the peer.
+	table := encodeAddrs(c.addrs)
+	for _, r := range regs {
+		if err := writeFrame(r.conn, 0, tagAddrTable, table); err != nil {
+			return err
+		}
+		c.adoptConn(r.rank, r.conn)
+	}
+	return nil
+}
+
+// bootstrapPeer registers with the root and waits for the address table.
+func (c *tcpComm) bootstrapPeer(rootAddr string, deadline time.Time) error {
+	// Our own listener for higher-rank peers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("mpilite: peer listen: %w", err)
+	}
+	c.listener = ln
+
+	var conn net.Conn
+	for {
+		conn, err = net.DialTimeout("tcp", rootAddr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mpilite: dial root %s: %w", rootAddr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := writeRegistration(conn, c.rank, ln.Addr().String()); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetReadDeadline(deadline)
+	from, tag, payload, err := readRawFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || from != 0 || tag != tagAddrTable {
+		conn.Close()
+		return fmt.Errorf("mpilite: waiting for address table: %v", err)
+	}
+	c.addrs, err = decodeAddrs(payload, c.size)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	c.adoptConn(0, conn)
+	return nil
+}
+
+// tagAddrTable is the bootstrap-only frame tag.
+const tagAddrTable = maxUserTag + 100
+
+var debugMesh = os.Getenv("MPILITE_DEBUG") != ""
+
+func debugf(format string, args ...any) {
+	if debugMesh {
+		fmt.Fprintf(os.Stderr, "mpilite: "+format+"\n", args...)
+	}
+}
+
+// adoptConn registers an established connection and starts its reader.
+func (c *tcpComm) adoptConn(rank int, conn net.Conn) {
+	debugf("rank %d adopt conn for peer %d", c.rank, rank)
+	c.mu.Lock()
+	if old, ok := c.conns[rank]; ok {
+		// Keep the existing connection; close the duplicate.
+		_ = old
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.conns[rank] = conn
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.readLoop(conn)
+}
+
+// acceptLoop admits inbound peer connections until Close.
+func (c *tcpComm) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			select {
+			case <-c.closeCh:
+				return
+			default:
+			}
+			return
+		}
+		peerRank, _, err := readRegistration(conn)
+		if err != nil || peerRank < 0 || peerRank >= c.size {
+			conn.Close()
+			continue
+		}
+		c.adoptConn(peerRank, conn)
+	}
+}
+
+// readLoop dispatches inbound frames to the inbox until the connection or
+// communicator closes.
+func (c *tcpComm) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	for {
+		from, tag, payload, err := readRawFrame(conn)
+		if err != nil {
+			return
+		}
+		c.inbox.deliver(from, tag, payload)
+	}
+}
+
+// connTo returns the connection to a peer; the mesh is complete after
+// DialTCP, so a missing connection means the peer has gone away.
+func (c *tcpComm) connTo(rank int) (net.Conn, error) {
+	c.mu.Lock()
+	conn, ok := c.conns[rank]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mpilite: no connection to rank %d", rank)
+	}
+	return conn, nil
+}
+
+func (c *tcpComm) Rank() int { return c.rank }
+func (c *tcpComm) Size() int { return c.size }
+
+func (c *tcpComm) Send(to, tag int, data []byte) error {
+	if err := validate(c.size, c.rank, to, tag); err != nil {
+		return err
+	}
+	conn, err := c.connTo(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeFrame(conn, c.rank, tag, data)
+}
+
+func (c *tcpComm) Recv(from, tag int) ([]byte, error) {
+	if err := validate(c.size, c.rank, from, tag); err != nil {
+		return nil, err
+	}
+	return c.inbox.recv(from, tag)
+}
+
+func (c *tcpComm) Sendrecv(to, tag int, data []byte, from int) ([]byte, error) {
+	if err := c.Send(to, tag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv(from, tag)
+}
+
+func (c *tcpComm) Barrier() error { return c.coll.barrier() }
+
+func (c *tcpComm) Allreduce(op ReduceOp, vals []float64) ([]float64, error) {
+	return c.coll.allreduce(op, vals)
+}
+
+func (c *tcpComm) Close() error {
+	c.closed.Do(func() {
+		close(c.closeCh)
+		c.inbox.close()
+		if c.listener != nil {
+			c.listener.Close()
+		}
+		c.mu.Lock()
+		for _, conn := range c.conns {
+			conn.Close()
+		}
+		c.mu.Unlock()
+	})
+	return nil
+}
+
+// Wire helpers.
+
+func writeRegistration(conn net.Conn, rank int, addr string) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], wireMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(rank))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	return writeFrame(conn, rank, tagAddrTable, []byte(addr))
+}
+
+func readRegistration(conn net.Conn) (rank int, addr string, err error) {
+	var hdr [8]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, "", err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != wireMagic {
+		return 0, "", fmt.Errorf("mpilite: bad handshake magic")
+	}
+	rank = int(binary.LittleEndian.Uint32(hdr[4:]))
+	from, tag, payload, err := readRawFrame(conn)
+	if err != nil {
+		return 0, "", err
+	}
+	if from != rank || tag != tagAddrTable {
+		return 0, "", fmt.Errorf("mpilite: bad registration frame")
+	}
+	return rank, string(payload), nil
+}
+
+func writeFrame(conn net.Conn, from, tag int, payload []byte) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(from))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRawFrame(conn net.Conn) (from, tag int, payload []byte, err error) {
+	var hdr [12]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	from = int(binary.LittleEndian.Uint32(hdr[0:]))
+	tag = int(binary.LittleEndian.Uint32(hdr[4:]))
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("mpilite: frame length %d exceeds limit", n)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err = io.ReadFull(conn, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return from, tag, payload, nil
+}
+
+// encodeAddrs packs the address table as length-prefixed strings.
+func encodeAddrs(addrs []string) []byte {
+	var buf []byte
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(addrs)))
+	buf = append(buf, tmp[:]...)
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(a)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+// decodeAddrs unpacks the address table, checking the expected size.
+func decodeAddrs(data []byte, want int) ([]string, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("mpilite: short address table")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n != want {
+		return nil, fmt.Errorf("mpilite: address table has %d ranks, want %d", n, want)
+	}
+	data = data[4:]
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("mpilite: truncated address table")
+		}
+		l := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < l {
+			return nil, fmt.Errorf("mpilite: truncated address entry")
+		}
+		out[i] = string(data[:l])
+		data = data[l:]
+	}
+	return out, nil
+}

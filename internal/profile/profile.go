@@ -1,0 +1,310 @@
+// Package profile implements piecewise-constant functions of (virtual) time.
+//
+// Profiles model every time-varying aspect of the simulated platform: the
+// clock frequency of a cluster under DVFS, the availability of a core that
+// time-shares with a co-running application, and the memory bandwidth left
+// over by a streaming interferer. The simulator composes them into a rate
+// function and integrates work over it: given a start time and an amount of
+// work, TimeToDo answers when the work completes.
+//
+// Times are float64 seconds of virtual time. Profiles are immutable after
+// construction and safe for concurrent readers.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Segment is one constant piece: Value holds from Start until the next
+// segment's Start (the last segment extends to +inf).
+type Segment struct {
+	Start float64
+	Value float64
+}
+
+// Profile is a piecewise-constant, right-continuous function of time,
+// defined for all t >= 0. The zero value is unusable; build profiles with
+// Constant, Steps, SquareWave or the combinators.
+type Profile struct {
+	segs []Segment
+	// periodic, if > 0, means the segments describe one period of length
+	// `periodic` and repeat forever.
+	period float64
+}
+
+// Constant returns the profile that is v everywhere.
+func Constant(v float64) *Profile {
+	return &Profile{segs: []Segment{{Start: 0, Value: v}}}
+}
+
+// Steps builds a profile from explicit segments. Segments must start at 0
+// and have strictly increasing start times.
+func Steps(segs ...Segment) (*Profile, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("profile: no segments")
+	}
+	if segs[0].Start != 0 {
+		return nil, fmt.Errorf("profile: first segment must start at 0, got %g", segs[0].Start)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start <= segs[i-1].Start {
+			return nil, fmt.Errorf("profile: segment starts must increase (%g after %g)", segs[i].Start, segs[i-1].Start)
+		}
+	}
+	return &Profile{segs: append([]Segment(nil), segs...)}, nil
+}
+
+// MustSteps is Steps but panics on error.
+func MustSteps(segs ...Segment) *Profile {
+	p, err := Steps(segs...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SquareWave returns a periodic profile alternating between hi (for hiDur
+// seconds) and lo (for loDur seconds), starting at hi at t=0 and repeating
+// forever. It models the paper's DVFS scenario (2035 MHz for 5 s, 345 MHz
+// for 5 s).
+func SquareWave(hi, lo, hiDur, loDur float64) *Profile {
+	if hiDur <= 0 || loDur <= 0 {
+		panic("profile: SquareWave durations must be positive")
+	}
+	return &Profile{
+		segs:   []Segment{{Start: 0, Value: hi}, {Start: hiDur, Value: lo}},
+		period: hiDur + loDur,
+	}
+}
+
+// Episode returns a profile that is `base` everywhere except [from, to),
+// where it is `during`. It models a bounded interference episode such as a
+// co-runner active during part of the run.
+func Episode(base, during, from, to float64) *Profile {
+	if to <= from {
+		panic("profile: Episode requires to > from")
+	}
+	if from == 0 {
+		return MustSteps(Segment{0, during}, Segment{to, base})
+	}
+	return MustSteps(Segment{0, base}, Segment{from, during}, Segment{to, base})
+}
+
+// At returns the profile's value at time t (t < 0 is treated as 0).
+func (p *Profile) At(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if p.period > 0 {
+		t = math.Mod(t, p.period)
+	}
+	i := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].Start > t })
+	return p.segs[i-1].Value
+}
+
+// NextChange returns the first time strictly greater than t at which the
+// profile's value may change, or +Inf if the profile is constant after t.
+func (p *Profile) NextChange(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if p.period > 0 {
+		base := math.Floor(t/p.period) * p.period
+		local := t - base
+		for _, s := range p.segs {
+			if s.Start > local {
+				return base + s.Start
+			}
+		}
+		return base + p.period
+	}
+	i := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].Start > t })
+	if i == len(p.segs) {
+		return math.Inf(1)
+	}
+	return p.segs[i].Start
+}
+
+// Integrate returns the integral of the profile over [from, to].
+func (p *Profile) Integrate(from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	total := 0.0
+	t := from
+	for t < to {
+		next := p.NextChange(t)
+		if next > to {
+			next = to
+		}
+		total += p.At(t) * (next - t)
+		t = next
+	}
+	return total
+}
+
+// TimeToDo returns the time at which `work` units complete if processing
+// starts at `start` and proceeds at rate p(t) units/second. It returns +Inf
+// if the profile is zero forever after start. Zero-rate stretches simply
+// pause progress.
+func (p *Profile) TimeToDo(start, work float64) float64 {
+	if work <= 0 {
+		return start
+	}
+	t := start
+	remaining := work
+	for {
+		rate := p.At(t)
+		next := p.NextChange(t)
+		if math.IsInf(next, 1) {
+			if rate <= 0 {
+				return math.Inf(1)
+			}
+			return t + remaining/rate
+		}
+		span := next - t
+		if rate > 0 {
+			capacity := rate * span
+			if capacity >= remaining {
+				return t + remaining/rate
+			}
+			remaining -= capacity
+		}
+		t = next
+	}
+}
+
+// Scale returns a new profile equal to p multiplied by k everywhere.
+func (p *Profile) Scale(k float64) *Profile {
+	out := &Profile{segs: make([]Segment, len(p.segs)), period: p.period}
+	for i, s := range p.segs {
+		out.segs[i] = Segment{Start: s.Start, Value: s.Value * k}
+	}
+	return out
+}
+
+// Mul returns the pointwise product of two profiles, materializing the
+// merged breakpoints; when both operands are periodic with commensurable
+// periods the result is periodic over their least common multiple.
+func Mul(a, b *Profile) *Profile {
+	// Fast paths: constant operands.
+	if a.IsConstant() {
+		return b.Scale(a.segs[0].Value)
+	}
+	if b.IsConstant() {
+		return a.Scale(b.segs[0].Value)
+	}
+	return combine(a, b, func(x, y float64) float64 { return x * y })
+}
+
+// Min2 returns the pointwise minimum of two profiles, materialized over the
+// same horizon strategy as Mul.
+func Min2(a, b *Profile) *Profile {
+	if a.IsConstant() && b.IsConstant() {
+		return Constant(math.Min(a.segs[0].Value, b.segs[0].Value))
+	}
+	// Short-circuit: a constant that never binds.
+	if a.IsConstant() && a.segs[0].Value >= b.Max() {
+		return b
+	}
+	if b.IsConstant() && b.segs[0].Value >= a.Max() {
+		return a
+	}
+	return combine(a, b, math.Min)
+}
+
+// combine merges the breakpoints of two profiles applying op pointwise,
+// preserving periodicity when the periods are commensurable.
+func combine(a, b *Profile, op func(x, y float64) float64) *Profile {
+	const horizonPeriods = 64
+	horizon := 0.0
+	period := 0.0
+	switch {
+	case a.period > 0 && b.period > 0:
+		period = lcmFloat(a.period, b.period)
+		horizon = period
+	case a.period > 0:
+		horizon = math.Max(a.period*horizonPeriods, lastStart(b)+a.period)
+	case b.period > 0:
+		horizon = math.Max(b.period*horizonPeriods, lastStart(a)+b.period)
+	default:
+		horizon = math.Max(lastStart(a), lastStart(b))
+	}
+	var segs []Segment
+	t := 0.0
+	for {
+		segs = append(segs, Segment{Start: t, Value: op(a.At(t), b.At(t))})
+		next := math.Min(a.NextChange(t), b.NextChange(t))
+		if next >= horizon || math.IsInf(next, 1) {
+			break
+		}
+		t = next
+	}
+	return &Profile{segs: segs, period: period}
+}
+
+// IsConstant reports whether the profile has a single value everywhere.
+func (p *Profile) IsConstant() bool {
+	return p.period == 0 && len(p.segs) == 1
+}
+
+// Min returns the smallest value the profile ever takes.
+func (p *Profile) Min() float64 {
+	m := math.Inf(1)
+	for _, s := range p.segs {
+		if s.Value < m {
+			m = s.Value
+		}
+	}
+	return m
+}
+
+// Max returns the largest value the profile ever takes.
+func (p *Profile) Max() float64 {
+	m := math.Inf(-1)
+	for _, s := range p.segs {
+		if s.Value > m {
+			m = s.Value
+		}
+	}
+	return m
+}
+
+// String renders the profile compactly for debugging.
+func (p *Profile) String() string {
+	var b strings.Builder
+	b.WriteString("profile[")
+	for i, s := range p.segs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%g:%g", s.Start, s.Value)
+	}
+	if p.period > 0 {
+		fmt.Fprintf(&b, " period=%g", p.period)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func lastStart(p *Profile) float64 {
+	return p.segs[len(p.segs)-1].Start
+}
+
+// lcmFloat returns the least common multiple of two positive floats if they
+// are commensurable within a small tolerance; otherwise it returns a horizon
+// covering many periods of both.
+func lcmFloat(a, b float64) float64 {
+	// Try small integer multiples.
+	for i := 1; i <= 64; i++ {
+		m := a * float64(i)
+		ratio := m / b
+		if math.Abs(ratio-math.Round(ratio)) < 1e-9 {
+			return m
+		}
+	}
+	return a * b // not commensurable in small multiples; generous horizon
+}

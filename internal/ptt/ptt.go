@@ -1,0 +1,246 @@
+// Package ptt implements the Performance Trace Table, the online
+// per-task-type performance model from the paper (Section 4.1.1) and from
+// Rohlin et al. (HIP3ES 2019).
+//
+// One Table exists per task type. Each entry corresponds to one valid
+// execution place (core, width) of the platform and holds a weighted moving
+// average of execution times observed by the leader core of that place.
+// Entries are initialized to zero, which the schedulers interpret as
+// "unmeasured": a zero entry always wins a minimizing search, so every place
+// is explored at least once before the model steers placement.
+//
+// The default update rule matches the paper's sensitivity analysis winner:
+//
+//	updated = (4*old + 1*new) / 5
+//
+// Tables are safe for concurrent use: the real runtime has one goroutine per
+// worker updating entries after each task, exactly like XiTAO's workers.
+package ptt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"dynasym/internal/topology"
+)
+
+// TypeID identifies a task type. Each function implemented as a task gets
+// its own TypeID and therefore its own Table, because per-place performance
+// varies per type.
+type TypeID int
+
+// Table is the Performance Trace Table for one task type.
+//
+// The paper lays out rows per core so each worker touches one cache line;
+// in Go we keep a flat slice indexed by dense place id, with one atomic
+// word per entry, which gives the same property: distinct places never
+// share a word, and a worker's local places are contiguous.
+type Table struct {
+	topo *topology.Platform
+	// alpha is the weight of the new observation (paper: 1/5).
+	alpha float64
+	// entries[placeID] holds the float64 bits of the weighted average.
+	entries []atomic.Uint64
+	// counts[placeID] counts updates, for diagnostics and reports.
+	counts []atomic.Uint64
+}
+
+// DefaultAlpha is the paper's chosen new-sample weight (ratio 1:4).
+const DefaultAlpha = 1.0 / 5.0
+
+// NewTable builds an empty table for the platform. alpha is the weight given
+// to new observations, in (0, 1]; alpha==1 replaces the entry outright
+// (the "1" configuration of Figure 8). Passing alpha <= 0 selects
+// DefaultAlpha.
+func NewTable(topo *topology.Platform, alpha float64) *Table {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	n := len(topo.Places())
+	return &Table{
+		topo:    topo,
+		alpha:   alpha,
+		entries: make([]atomic.Uint64, n),
+		counts:  make([]atomic.Uint64, n),
+	}
+}
+
+// Alpha returns the new-observation weight used by Update.
+func (t *Table) Alpha() float64 { return t.alpha }
+
+// Platform returns the platform the table is indexed by.
+func (t *Table) Platform() *topology.Platform { return t.topo }
+
+// Value returns the current estimate for the place, in seconds. Zero means
+// the place has never been measured.
+func (t *Table) Value(pl topology.Place) float64 {
+	id := t.topo.PlaceID(pl)
+	if id < 0 {
+		return math.Inf(1)
+	}
+	return t.ValueByID(id)
+}
+
+// ValueByID returns the estimate for a dense place id.
+func (t *Table) ValueByID(id int) float64 {
+	return math.Float64frombits(t.entries[id].Load())
+}
+
+// Count returns how many observations the place has received.
+func (t *Table) Count(pl topology.Place) uint64 {
+	id := t.topo.PlaceID(pl)
+	if id < 0 {
+		return 0
+	}
+	return t.counts[id].Load()
+}
+
+// Update folds a new observation (seconds) into the entry for the place
+// using the weighted-average rule. The first observation is stored directly
+// rather than averaged with the zero initializer, so the entry reflects a
+// real measurement as soon as one exists. Non-positive and non-finite
+// observations are ignored.
+func (t *Table) Update(pl topology.Place, observed float64) {
+	id := t.topo.PlaceID(pl)
+	if id < 0 || observed <= 0 || math.IsInf(observed, 0) || math.IsNaN(observed) {
+		return
+	}
+	e := &t.entries[id]
+	for {
+		oldBits := e.Load()
+		old := math.Float64frombits(oldBits)
+		var next float64
+		if old == 0 {
+			next = observed
+		} else {
+			next = (1-t.alpha)*old + t.alpha*observed
+		}
+		if e.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			t.counts[id].Add(1)
+			return
+		}
+	}
+}
+
+// Reset clears every entry back to the unmeasured state.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i].Store(0)
+		t.counts[i].Store(0)
+	}
+}
+
+// Snapshot returns a copy of the table's current estimates keyed by place.
+func (t *Table) Snapshot() map[topology.Place]float64 {
+	out := make(map[topology.Place]float64, len(t.entries))
+	for id, pl := range t.topo.Places() {
+		v := t.ValueByID(id)
+		if v != 0 {
+			out[pl] = v
+		}
+	}
+	return out
+}
+
+// String renders the measured entries, ordered by place, for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("ptt{")
+	first := true
+	for id, pl := range t.topo.Places() {
+		v := t.ValueByID(id)
+		if v == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%.3gs", pl, v)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Registry holds one Table per task type, created lazily. It is safe for
+// concurrent use.
+type Registry struct {
+	topo   *topology.Platform
+	alpha  float64
+	mu     atomic.Pointer[[]*Table] // copy-on-write slice indexed by TypeID
+	growMu chanMutex
+}
+
+// chanMutex is a tiny mutex built on a buffered channel so the zero Registry
+// literal stays small; it guards the rare grow path only.
+type chanMutex struct{ ch atomic.Pointer[chan struct{}] }
+
+func (m *chanMutex) lock() {
+	ch := m.ch.Load()
+	if ch == nil {
+		newCh := make(chan struct{}, 1)
+		if m.ch.CompareAndSwap(nil, &newCh) {
+			ch = &newCh
+		} else {
+			ch = m.ch.Load()
+		}
+	}
+	*ch <- struct{}{}
+}
+
+func (m *chanMutex) unlock() { <-*m.ch.Load() }
+
+// NewRegistry builds a registry producing tables with the given alpha
+// (<= 0 selects DefaultAlpha).
+func NewRegistry(topo *topology.Platform, alpha float64) *Registry {
+	r := &Registry{topo: topo, alpha: alpha}
+	empty := make([]*Table, 0)
+	r.mu.Store(&empty)
+	return r
+}
+
+// Get returns the table for the task type, creating it on first use.
+func (r *Registry) Get(id TypeID) *Table {
+	if id < 0 {
+		panic(fmt.Sprintf("ptt: negative TypeID %d", id))
+	}
+	tables := *r.mu.Load()
+	if int(id) < len(tables) && tables[id] != nil {
+		return tables[id]
+	}
+	r.growMu.lock()
+	defer r.growMu.unlock()
+	tables = *r.mu.Load()
+	if int(id) >= len(tables) {
+		grown := make([]*Table, id+1)
+		copy(grown, tables)
+		tables = grown
+	} else {
+		tables = append([]*Table(nil), tables...)
+	}
+	if tables[id] == nil {
+		tables[id] = NewTable(r.topo, r.alpha)
+	}
+	r.mu.Store(&tables)
+	return tables[id]
+}
+
+// Tables returns the currently existing tables indexed by TypeID; entries
+// may be nil for unused ids.
+func (r *Registry) Tables() []*Table {
+	return *r.mu.Load()
+}
+
+// ResetAll clears every table in the registry.
+func (r *Registry) ResetAll() {
+	for _, t := range r.Tables() {
+		if t != nil {
+			t.Reset()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package sim is a minimal deterministic discrete-event simulation engine.
+//
+// Events are closures scheduled at absolute virtual times; ties are broken
+// by scheduling order, so a run is a pure function of its inputs. The
+// simulated runtime (internal/simrt) and the simulated network
+// (internal/simnet) both drive their state machines from this engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use: everything happens on the caller's goroutine inside Run.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Processed counts events executed, for diagnostics and perf tests.
+	Processed uint64
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an engine at virtual time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it would violate causality and hide bugs.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events in order until the queue is empty or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() float64 { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with time ≤ limit, advancing the clock, until
+// the queue drains, the limit is passed, or Stop is called. The clock never
+// exceeds limit.
+func (e *Engine) RunUntil(limit float64) float64 {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; Run may be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

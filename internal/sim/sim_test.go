@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(3, func() { order = append(order, 3) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("final time %g, want 3", end)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(1, func() { order = append(order, "first") })
+	e.At(1, func() { order = append(order, "second") })
+	e.Run()
+	if order[0] != "first" || order[1] != "second" {
+		t.Fatalf("tie broken wrong: %v", order)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(5, func() {
+		e.After(2, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 7 {
+		t.Fatalf("After landed at %g, want 7", at)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 10 {
+			e.After(1, recur)
+		}
+	}
+	e.At(0, recur)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("time = %g, want 9", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		e.At(float64(i), func() { ran = i })
+	}
+	e.RunUntil(5.5)
+	if ran != 5 {
+		t.Fatalf("ran through event %d, want 5", ran)
+	}
+	if e.Now() != 5.5 {
+		t.Fatalf("clock = %g, want 5.5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if ran != 10 {
+		t.Fatal("continuation after RunUntil failed")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt processing: ran=%d", ran)
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatal("Run after Stop did not resume")
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestNaNPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN time did not panic")
+		}
+	}()
+	e.At(math.NaN(), func() {})
+}
+
+func TestProcessedCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 100; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run()
+	if e.Processed != 100 {
+		t.Fatalf("Processed = %d, want 100", e.Processed)
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	e := New()
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			e.After(1e-6, next)
+		}
+	}
+	e.At(0, next)
+	e.Run()
+}

@@ -1,0 +1,82 @@
+package simrt
+
+import "dynasym/internal/dag"
+
+// deque is the Work-Stealing Queue of one simulated core: the owner pushes
+// and pops at the bottom (LIFO, for locality), thieves remove the oldest
+// stealable entry from the top, like a Blumofe–Leiserson deque. The
+// simulator is single-threaded, so no synchronization is needed; the real
+// runtime (internal/xtr) has its own locked implementation.
+type deque struct {
+	items []*dag.Task
+}
+
+// Len returns the number of queued tasks.
+func (d *deque) Len() int { return len(d.items) }
+
+// PushBottom appends a task at the owner's end.
+func (d *deque) PushBottom(t *dag.Task) { d.items = append(d.items, t) }
+
+// PopBottom removes and returns the task the owner should run next: with
+// preferHigh set, the most recently pushed high-priority task if any
+// (criticality-aware policies run critical tasks first); otherwise plain
+// LIFO, which is what the priority-oblivious random work stealing family
+// does.
+func (d *deque) PopBottom(preferHigh bool) (*dag.Task, bool) {
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	idx := n - 1
+	if preferHigh && !d.items[idx].High {
+		for i := n - 2; i >= 0; i-- {
+			if d.items[i].High {
+				idx = i
+				break
+			}
+		}
+	}
+	t := d.items[idx]
+	copy(d.items[idx:], d.items[idx+1:])
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+// PopHigh removes and returns the most recently pushed high-priority task,
+// if any. Criticality-aware workers dispatch these before anything else.
+func (d *deque) PopHigh() (*dag.Task, bool) {
+	for i := len(d.items) - 1; i >= 0; i-- {
+		if d.items[i].High {
+			t := d.items[i]
+			copy(d.items[i:], d.items[i+1:])
+			d.items[len(d.items)-1] = nil
+			d.items = d.items[:len(d.items)-1]
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// HasStealable reports whether the deque holds a task a thief may take.
+func (d *deque) HasStealable(allowHigh bool) bool {
+	for _, t := range d.items {
+		if allowHigh || !t.High {
+			return true
+		}
+	}
+	return false
+}
+
+// StealOldest removes and returns the oldest stealable task.
+func (d *deque) StealOldest(allowHigh bool) (*dag.Task, bool) {
+	for i, t := range d.items {
+		if allowHigh || !t.High {
+			copy(d.items[i:], d.items[i+1:])
+			d.items[len(d.items)-1] = nil
+			d.items = d.items[:len(d.items)-1]
+			return t, true
+		}
+	}
+	return nil, false
+}

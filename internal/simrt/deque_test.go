@@ -1,0 +1,128 @@
+package simrt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynasym/internal/dag"
+)
+
+func mk(high bool) *dag.Task { return &dag.Task{High: high} }
+
+func TestDequeLIFO(t *testing.T) {
+	var d deque
+	a, b := mk(false), mk(false)
+	d.PushBottom(a)
+	d.PushBottom(b)
+	if got, _ := d.PopBottom(false); got != b {
+		t.Fatal("plain pop not LIFO")
+	}
+	if got, _ := d.PopBottom(false); got != a {
+		t.Fatal("second pop wrong")
+	}
+	if _, ok := d.PopBottom(false); ok {
+		t.Fatal("empty deque popped")
+	}
+}
+
+func TestDequePreferHigh(t *testing.T) {
+	var d deque
+	h := mk(true)
+	l1, l2 := mk(false), mk(false)
+	d.PushBottom(h)
+	d.PushBottom(l1)
+	d.PushBottom(l2)
+	if got, _ := d.PopBottom(true); got != h {
+		t.Fatal("preferHigh did not return the high task")
+	}
+	if got, _ := d.PopBottom(true); got != l2 {
+		t.Fatal("after high, pop should be LIFO")
+	}
+}
+
+func TestDequePopHigh(t *testing.T) {
+	var d deque
+	l := mk(false)
+	h1, h2 := mk(true), mk(true)
+	d.PushBottom(h1)
+	d.PushBottom(l)
+	d.PushBottom(h2)
+	if got, _ := d.PopHigh(); got != h2 {
+		t.Fatal("PopHigh should return the newest high task")
+	}
+	if got, _ := d.PopHigh(); got != h1 {
+		t.Fatal("PopHigh second")
+	}
+	if _, ok := d.PopHigh(); ok {
+		t.Fatal("PopHigh on low-only deque succeeded")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestDequeStealOldest(t *testing.T) {
+	var d deque
+	h := mk(true)
+	l1, l2 := mk(false), mk(false)
+	d.PushBottom(h)
+	d.PushBottom(l1)
+	d.PushBottom(l2)
+	// Without high stealing the oldest LOW task goes first.
+	if got, _ := d.StealOldest(false); got != l1 {
+		t.Fatal("steal did not take oldest stealable")
+	}
+	// With high stealing the high task (oldest overall) goes.
+	if got, _ := d.StealOldest(true); got != h {
+		t.Fatal("allowHigh steal did not take the high task")
+	}
+	if !d.HasStealable(false) {
+		t.Fatal("l2 should be stealable")
+	}
+}
+
+func TestDequeHasStealable(t *testing.T) {
+	var d deque
+	d.PushBottom(mk(true))
+	if d.HasStealable(false) {
+		t.Fatal("high-only queue reported stealable without allowHigh")
+	}
+	if !d.HasStealable(true) {
+		t.Fatal("high task not stealable with allowHigh")
+	}
+}
+
+// Property: any sequence of pushes and pops conserves tasks (no loss, no
+// duplication).
+func TestDequeConservation(t *testing.T) {
+	check := func(ops []uint8) bool {
+		var d deque
+		pushed, popped := 0, 0
+		for _, op := range ops {
+			switch op % 5 {
+			case 0, 1:
+				d.PushBottom(mk(op%7 == 0))
+				pushed++
+			case 2:
+				if _, ok := d.PopBottom(true); ok {
+					popped++
+				}
+			case 3:
+				if _, ok := d.StealOldest(op%2 == 0); ok {
+					popped++
+				}
+			case 4:
+				if _, ok := d.PopHigh(); ok {
+					popped++
+				}
+			}
+			if d.Len() != pushed-popped {
+				return false
+			}
+		}
+		return d.Len() == pushed-popped
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,575 @@
+// Package simrt executes task graphs on the simulated platform.
+//
+// It reimplements the XiTAO execution protocol the paper builds on
+// (Section 4.1.2) as a deterministic state machine over the discrete-event
+// engine:
+//
+//   - each core owns a Work-Stealing Queue (WSQ) of ready tasks and a FIFO
+//     Assembly Queue (AQ) of committed moldable executions;
+//   - when a task becomes ready its wake-time placement picks a WSQ (high
+//     priority tasks are routed by the policy, low priority tasks stay on
+//     the waking worker for data reuse);
+//   - a worker that dequeues (or steals) a task runs the policy's dispatch
+//     decision, then inserts the resulting assembly into the AQs of every
+//     member core of the chosen place;
+//   - an assembly starts when all members have arrived and finishes when
+//     the machine model says the slowest member is done; the leader's
+//     observed span updates the task type's Performance Trace Table;
+//   - high-priority tasks are not stealable (unless the policy is from the
+//     random work-stealing family), exactly like the paper.
+//
+// Virtual time, stealing victims and measurement jitter are all
+// deterministic functions of the configuration seed.
+package simrt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"dynasym/internal/core"
+	"dynasym/internal/dag"
+	"dynasym/internal/machine"
+	"dynasym/internal/metrics"
+	"dynasym/internal/ptt"
+	"dynasym/internal/sim"
+	"dynasym/internal/topology"
+	"dynasym/internal/trace"
+	"dynasym/internal/xrand"
+)
+
+// ExecHook lets a workload take over the execution of specific tasks (used
+// by the distributed Heat workload for network boundary exchanges). If the
+// hook recognizes the task it must eventually call deliver exactly once
+// with the absolute finish time (≥ start) and return true; returning false
+// falls back to the machine model.
+type ExecHook func(rt *Runtime, t *dag.Task, pl topology.Place, start float64, deliver func(finish float64)) bool
+
+// Config configures a simulated runtime instance.
+type Config struct {
+	// Topo is the platform this runtime schedules on. Required.
+	Topo *topology.Platform
+	// Model provides task durations. Required (build with machine.New).
+	Model *machine.Model
+	// Policy is the scheduling policy. Required.
+	Policy core.Policy
+	// Alpha is the PTT new-observation weight; <= 0 selects the paper's
+	// 1/5 default.
+	Alpha float64
+	// Seed drives all randomness (stealing, jitter).
+	Seed uint64
+	// Collector receives metrics; nil allocates a private one.
+	Collector *metrics.Collector
+	// Registry supplies pre-trained trace tables; nil allocates fresh
+	// ones.
+	Registry *ptt.Registry
+	// Engine lets several runtimes share one virtual clock (distributed
+	// experiments); nil allocates a private engine.
+	Engine *sim.Engine
+	// Hook optionally takes over execution of selected tasks.
+	Hook ExecHook
+	// Trace, when non-nil, records every task execution for post-mortem
+	// visualization (see internal/trace).
+	Trace *trace.Recorder
+
+	// DispatchCost is the virtual time a worker spends per dispatch
+	// (dequeue + placement decision + AQ insertion). Default 0.2 µs.
+	DispatchCost float64
+	// StealCost is the virtual time for one steal attempt. Default 1 µs.
+	StealCost float64
+	// WakeLatency is the delay between work appearing and an idle core
+	// noticing. Default 0.5 µs.
+	WakeLatency float64
+	// PreemptProb is the probability that one task execution absorbs a
+	// short isolated system event (OS tick, interrupt); such outliers are
+	// what the paper's weighted PTT update is designed to absorb.
+	// Default 0.02; negative disables.
+	PreemptProb float64
+	// PreemptMin/PreemptMax bound the uniformly drawn preemption delay in
+	// seconds. Defaults 0.1 ms and 0.5 ms (timer ticks and daemon blips
+	// on a busy embedded board).
+	PreemptMin, PreemptMax float64
+	// PollDelay is how long an idle worker waits before probing for work
+	// that appeared on another core's queue (idle workers poll rather
+	// than receive targeted wakeups, like XiTAO's spin-steal loop with
+	// yields). Default 20 µs.
+	PollDelay float64
+	// RunBodies makes the simulator execute task bodies (at zero virtual
+	// cost) so applications compute real results under simulated
+	// scheduling — a functional simulation. Durations still come from
+	// the machine model. Member bodies run concurrently (they may
+	// synchronize internally), so floating-point reduction order — but
+	// nothing else — may vary between runs.
+	RunBodies bool
+}
+
+type coreStateKind int32
+
+const (
+	stIdle coreStateKind = iota
+	stScheduled
+	stBusy
+)
+
+type assembly struct {
+	task    *dag.Task
+	place   topology.Place
+	arrived int
+	start   float64
+	finish  float64 // estimated, for load queries; 0 until started
+}
+
+type coreState struct {
+	id    int
+	state coreStateKind
+	wsq   deque
+	aq    []*assembly
+	cur   *assembly
+	rng   *xrand.RNG
+
+	steals       int64
+	failedSteals int64
+	dispatches   int64
+}
+
+// Runtime is one simulated runtime instance. Not safe for concurrent use;
+// everything runs on the engine's goroutine.
+type Runtime struct {
+	cfg      Config
+	engine   *sim.Engine
+	topo     *topology.Platform
+	model    *machine.Model
+	policy   core.Policy
+	reg      *ptt.Registry
+	coll     *metrics.Collector
+	rr       atomic.Uint64
+	cores    []*coreState
+	graph    *dag.Graph
+	root     *xrand.RNG
+	finished bool
+	makespan float64
+}
+
+// New validates the configuration and builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("simrt: Config.Topo is required")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("simrt: Config.Model is required")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("simrt: Config.Policy is required")
+	}
+	if cfg.Model.Platform() != cfg.Topo {
+		return nil, fmt.Errorf("simrt: Model built for a different platform")
+	}
+	if cfg.DispatchCost <= 0 {
+		cfg.DispatchCost = 0.2e-6
+	}
+	if cfg.StealCost <= 0 {
+		cfg.StealCost = 1e-6
+	}
+	if cfg.WakeLatency <= 0 {
+		cfg.WakeLatency = 0.5e-6
+	}
+	if cfg.PreemptProb == 0 {
+		cfg.PreemptProb = 0.02
+	}
+	if cfg.PreemptProb < 0 {
+		cfg.PreemptProb = 0
+	}
+	if cfg.PreemptMin <= 0 {
+		cfg.PreemptMin = 0.1e-3
+	}
+	if cfg.PreemptMax <= cfg.PreemptMin {
+		cfg.PreemptMax = 0.5e-3
+	}
+	if cfg.PollDelay <= 0 {
+		cfg.PollDelay = 20e-6
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		engine: cfg.Engine,
+		topo:   cfg.Topo,
+		model:  cfg.Model,
+		policy: cfg.Policy,
+		reg:    cfg.Registry,
+		coll:   cfg.Collector,
+		root:   xrand.New(cfg.Seed),
+	}
+	if rt.engine == nil {
+		rt.engine = sim.New()
+	}
+	if rt.reg == nil {
+		rt.reg = ptt.NewRegistry(cfg.Topo, cfg.Alpha)
+	}
+	if rt.coll == nil {
+		rt.coll = metrics.NewCollector(cfg.Topo)
+	}
+	rt.cores = make([]*coreState, cfg.Topo.NumCores())
+	for i := range rt.cores {
+		rt.cores[i] = &coreState{id: i, rng: rt.root.Split()}
+	}
+	return rt, nil
+}
+
+// Engine returns the runtime's event engine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.engine }
+
+// Collector returns the runtime's metrics collector.
+func (rt *Runtime) Collector() *metrics.Collector { return rt.coll }
+
+// Registry returns the runtime's PTT registry.
+func (rt *Runtime) Registry() *ptt.Registry { return rt.reg }
+
+// Policy returns the runtime's scheduling policy.
+func (rt *Runtime) Policy() core.Policy { return rt.policy }
+
+// Finished reports whether the graph drained.
+func (rt *Runtime) Finished() bool { return rt.finished }
+
+// Makespan returns the virtual time at which the last task finished.
+func (rt *Runtime) Makespan() float64 { return rt.makespan }
+
+// Run executes the graph to completion on a private engine and returns the
+// collector. It fails if the configuration shares an engine (use Start and
+// drive the engine yourself) or if execution stalls.
+func (rt *Runtime) Run(g *dag.Graph) (*metrics.Collector, error) {
+	if err := rt.Start(g); err != nil {
+		return nil, err
+	}
+	rt.engine.Run()
+	if !rt.finished {
+		return nil, fmt.Errorf("simrt: execution stalled with %d tasks outstanding (possible dependency deadlock)", g.Outstanding())
+	}
+	return rt.coll, nil
+}
+
+// Start wires the graph into the runtime and schedules the initial events.
+// The caller is responsible for running the engine (shared-engine mode).
+func (rt *Runtime) Start(g *dag.Graph) error {
+	if rt.graph != nil {
+		return fmt.Errorf("simrt: runtime already started")
+	}
+	rt.graph = g
+	ready := g.Start()
+	if len(ready) == 0 && g.Outstanding() > 0 {
+		return fmt.Errorf("simrt: graph has %d tasks but none ready (cycle?)", g.Outstanding())
+	}
+	for _, t := range ready {
+		rt.wakeTask(t, 0)
+	}
+	if g.Outstanding() == 0 {
+		rt.finished = true
+		rt.coll.SetMakespan(0)
+		return nil
+	}
+	for _, c := range rt.cores {
+		rt.scheduleStep(c, rt.cfg.WakeLatency)
+	}
+	return nil
+}
+
+// scheduleStep queues a step for an idle core after delay seconds.
+func (rt *Runtime) scheduleStep(c *coreState, delay float64) {
+	if c.state != stIdle {
+		return
+	}
+	c.state = stScheduled
+	rt.engine.After(delay, func() { rt.step(c) })
+}
+
+// table returns the PTT for a task type, or nil when the policy does not
+// use a model.
+func (rt *Runtime) table(id ptt.TypeID) *ptt.Table {
+	if !rt.policy.UsesPTT() {
+		return nil
+	}
+	return rt.reg.Get(id)
+}
+
+func (rt *Runtime) ctx(self int, t *dag.Task) *core.Context {
+	return &core.Context{
+		Self:  self,
+		High:  t.High,
+		Type:  t.Type,
+		Table: rt.table(t.Type),
+		Topo:  rt.topo,
+		Rand:  rt.cores[self].rng,
+		RR:    &rt.rr,
+		Load:  rt.loadEstimate,
+	}
+}
+
+// loadEstimate reports how many seconds from now the core is expected to be
+// occupied (assembly remainder only; queued work is not counted).
+func (rt *Runtime) loadEstimate(coreID int) float64 {
+	c := rt.cores[coreID]
+	if c.cur == nil || c.cur.finish == 0 {
+		return 0
+	}
+	d := c.cur.finish - rt.engine.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// wakeTask performs the wake-time placement of a newly ready task: the
+// policy may route it (high-priority tasks), otherwise it lands on the
+// waking worker's WSQ. Idle cores are then given a chance to steal.
+func (rt *Runtime) wakeTask(t *dag.Task, waker int) {
+	leader, ok := rt.policy.WakePlace(rt.ctx(waker, t))
+	if !ok {
+		leader = waker
+	}
+	target := rt.cores[leader]
+	target.wsq.PushBottom(t)
+	rt.scheduleStep(target, rt.cfg.WakeLatency)
+	if !t.High || rt.policy.AllowPrioritySteal() {
+		for _, c := range rt.cores {
+			if c.state == stIdle && c != target {
+				// Idle workers discover remote work by polling, with a
+				// per-core stagger so probes do not stampede.
+				rt.scheduleStep(c, rt.cfg.PollDelay*(0.5+c.rng.Float64()))
+			}
+		}
+	}
+}
+
+// step performs one worker action: join the head assembly, dispatch one
+// local task, or attempt one steal. Cores go idle when nothing is
+// available; new work wakes them.
+func (rt *Runtime) step(c *coreState) {
+	if c.state != stScheduled {
+		panic(fmt.Sprintf("simrt: step on core %d in state %d", c.id, c.state))
+	}
+	// The core stays in stScheduled while acting, so wake attempts during
+	// dispatch (e.g. the core inserting an assembly into its own AQ) are
+	// no-ops instead of duplicate step events.
+
+	// 0. Criticality-aware policies dispatch waiting high-priority tasks
+	// before anything else, so a critical task routed to this worker is
+	// never stranded behind committed low-priority assemblies.
+	if !rt.policy.AllowPrioritySteal() {
+		if t, ok := c.wsq.PopHigh(); ok {
+			rt.dispatch(c, t)
+			c.dispatches++
+			rt.engine.After(rt.cfg.DispatchCost, func() { rt.step(c) })
+			return
+		}
+	}
+
+	// 1. Committed assemblies first: another worker may be waiting on us.
+	if len(c.aq) > 0 {
+		a := c.aq[0]
+		copy(c.aq, c.aq[1:])
+		c.aq = c.aq[:len(c.aq)-1]
+		c.state = stBusy
+		c.cur = a
+		a.arrived++
+		if a.arrived == a.place.Width {
+			rt.startAssembly(a)
+		}
+		return
+	}
+
+	// 2. Local ready tasks. Criticality-aware policies run high-priority
+	// tasks first; the RWS family is priority-oblivious.
+	if t, ok := c.wsq.PopBottom(!rt.policy.AllowPrioritySteal()); ok {
+		rt.dispatch(c, t)
+		c.dispatches++
+		rt.engine.After(rt.cfg.DispatchCost, func() { rt.step(c) })
+		return
+	}
+
+	// 3. Steal: sweep the other cores from a pseudo-random start and take
+	// the first victim's oldest stealable task — the event-level
+	// equivalent of a spinning thief's rapid successive probes. The
+	// placement decision is then re-run on this core (the paper's step 4:
+	// the PTT is visited again after a successful steal). If the sweep
+	// finds nothing the core goes idle; new pushes wake idle cores.
+	n := len(rt.cores)
+	allowHigh := rt.policy.AllowPrioritySteal()
+	start := c.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := rt.cores[(start+i)%n]
+		if v == c {
+			continue
+		}
+		if t, ok := v.wsq.StealOldest(allowHigh); ok {
+			c.steals++
+			rt.dispatch(c, t)
+			rt.engine.After(rt.cfg.StealCost, func() { rt.step(c) })
+			return
+		}
+	}
+	c.failedSteals++
+	c.state = stIdle
+	// Nothing to do; wait for a wake.
+}
+
+// dispatch runs the final placement decision for t on worker c and inserts
+// the assembly into the AQs of the place's members.
+func (rt *Runtime) dispatch(c *coreState, t *dag.Task) {
+	pl := rt.policy.DispatchPlace(rt.ctx(c.id, t))
+	if !rt.topo.Valid(pl) {
+		panic(fmt.Sprintf("simrt: policy %s produced invalid place %v", rt.policy.Name(), pl))
+	}
+	t.MarkRunning()
+	a := &assembly{task: t, place: pl}
+	for i := 0; i < pl.Width; i++ {
+		m := rt.cores[pl.Leader+i]
+		if t.High && pl.Width == 1 {
+			// Width-1 high-priority assemblies jump the queue. They run
+			// to completion without a rendezvous, so overtaking committed
+			// assemblies cannot create a circular wait (wider assemblies
+			// could: a member already blocked in an overtaken assembly
+			// would deadlock the newcomer's rendezvous).
+			m.aq = append(m.aq, nil)
+			copy(m.aq[1:], m.aq)
+			m.aq[0] = a
+		} else {
+			m.aq = append(m.aq, a)
+		}
+		rt.scheduleStep(m, rt.cfg.WakeLatency)
+	}
+}
+
+// startAssembly runs when the last member arrives.
+func (rt *Runtime) startAssembly(a *assembly) {
+	a.start = rt.engine.Now()
+	if rt.cfg.RunBodies && a.task.Body != nil {
+		runBodyMembers(a.task, a.place)
+	}
+	if rt.cfg.Hook != nil {
+		delivered := false
+		handled := rt.cfg.Hook(rt, a.task, a.place, a.start, func(finish float64) {
+			if delivered {
+				panic("simrt: exec hook delivered twice")
+			}
+			delivered = true
+			if finish < a.start {
+				finish = a.start
+			}
+			a.finish = finish
+			if finish <= rt.engine.Now() {
+				rt.completeAssembly(a, rt.engine.Now())
+			} else {
+				rt.engine.At(finish, func() { rt.completeAssembly(a, finish) })
+			}
+		})
+		if handled {
+			return
+		}
+	}
+	j := rt.drawJitter(a.place.Leader)
+	finish := rt.model.Duration(a.task.Cost, a.place, a.start, j)
+	if math.IsInf(finish, 1) {
+		panic(fmt.Sprintf("simrt: task %q never finishes on %v (zero rate forever)", a.task.Label, a.place))
+	}
+	a.finish = finish
+	rt.engine.At(finish, func() { rt.completeAssembly(a, finish) })
+}
+
+// completeAssembly releases the members, updates the PTT with the leader's
+// observed span, records metrics, and wakes dependents.
+func (rt *Runtime) completeAssembly(a *assembly, finish float64) {
+	span := finish - a.start
+	if tbl := rt.table(a.task.Type); tbl != nil {
+		tbl.Update(a.place, span)
+	}
+	rt.coll.TaskDone(a.place, a.task.High, a.task.Type, a.task.Iter, a.start, finish)
+	if rt.cfg.Trace != nil {
+		for i := 0; i < a.place.Width; i++ {
+			rt.cfg.Trace.Add(trace.Event{
+				Label:  a.task.Label,
+				Core:   a.place.Leader + i,
+				Start:  a.start,
+				End:    finish,
+				Leader: a.place.Leader,
+				Width:  a.place.Width,
+				High:   a.task.High,
+			})
+		}
+	}
+	for i := 0; i < a.place.Width; i++ {
+		m := rt.cores[a.place.Leader+i]
+		if m.cur != a {
+			panic(fmt.Sprintf("simrt: core %d completing foreign assembly", m.id))
+		}
+		m.cur = nil
+		m.state = stScheduled
+		rt.engine.At(finish, func() { rt.step(m) })
+	}
+	ready, drained := rt.graph.Complete(a.task)
+	for _, t := range ready {
+		rt.wakeTask(t, a.place.Leader)
+	}
+	if drained {
+		rt.finished = true
+		rt.makespan = finish
+		rt.coll.SetMakespan(finish)
+	}
+}
+
+// ModelDuration returns the machine-model finish time for a cost on a
+// place starting at start, drawing this runtime's usual execution noise
+// from the place leader's RNG. Execution hooks use it for the CPU portion
+// of tasks whose completion they control.
+func (rt *Runtime) ModelDuration(c machine.Cost, pl topology.Place, start float64) float64 {
+	return rt.model.Duration(c, pl, start, rt.drawJitter(pl.Leader))
+}
+
+// drawJitter samples the per-execution noise from the leader's RNG:
+// multiplicative variance, continuous timer-resolution noise, and rare
+// preemption outliers.
+func (rt *Runtime) drawJitter(leader int) machine.Jitter {
+	j := machine.NoJitter
+	rng := rt.cores[leader].rng
+	if rt.model.JitterRel > 0 {
+		j.Mul = rng.Jitter(rt.model.JitterRel)
+	}
+	if rt.model.TimerRes > 0 {
+		j.Add += math.Abs(rng.NormFloat64()) * rt.model.TimerRes
+	}
+	if rt.cfg.PreemptProb > 0 && rng.Float64() < rt.cfg.PreemptProb {
+		j.Add += rt.cfg.PreemptMin + (rt.cfg.PreemptMax-rt.cfg.PreemptMin)*rng.Float64()
+	}
+	return j
+}
+
+// runBodyMembers executes all member partitions of a task body. Members
+// run on goroutines because bodies may synchronize internally (e.g. the
+// stencil kernel's per-sweep barrier).
+func runBodyMembers(t *dag.Task, pl topology.Place) {
+	if pl.Width == 1 {
+		t.Body(dag.Exec{Part: 0, Width: 1, Leader: pl.Leader, Worker: pl.Leader})
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < pl.Width; i++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			t.Body(dag.Exec{Part: part, Width: pl.Width, Leader: pl.Leader, Worker: pl.Leader + part})
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Stats exposes per-core scheduler counters for diagnostics and tests.
+type Stats struct {
+	Steals, FailedSteals, Dispatches int64
+}
+
+// CoreStats returns the per-core scheduler counters.
+func (rt *Runtime) CoreStats() []Stats {
+	out := make([]Stats, len(rt.cores))
+	for i, c := range rt.cores {
+		out[i] = Stats{Steals: c.steals, FailedSteals: c.failedSteals, Dispatches: c.dispatches}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package simrt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynasym/internal/core"
+	"dynasym/internal/interfere"
+	"dynasym/internal/machine"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
+	"dynasym/internal/workloads"
+)
+
+// TestSmokeFig4Shape runs a scaled-down Figure 4a scenario (MatMul DAG,
+// co-runner on Denver core 0) under all policies and prints throughputs.
+func TestSmokeFig4Shape(t *testing.T) {
+	for _, par := range []int{2, 4, 6} {
+		results := map[string]float64{}
+		for _, pol := range core.All() {
+			topo := topology.TX2()
+			model := machine.New(topo)
+			interfere.CoRunCPU(model, []int{0}, 0.5)
+			g := workloads.BuildSynthetic(workloads.SyntheticConfig{
+				Kernel:      workloads.MatMul,
+				Tile:        64,
+				Tasks:       3200,
+				Parallelism: par,
+			})
+			rt, err := simrt.New(simrt.Config{Topo: topo, Model: model, Policy: pol, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coll, err := rt.Run(g)
+			if err != nil {
+				t.Fatalf("policy %s: %v", pol.Name(), err)
+			}
+			results[pol.Name()] = coll.Throughput()
+		}
+		if testing.Verbose() {
+			fmt.Printf("P=%d:", par)
+			for _, p := range core.All() {
+				fmt.Printf("  %s=%.0f", p.Name(), results[p.Name()])
+			}
+			fmt.Println()
+		}
+		if results["DA"] <= results["RWS"] {
+			t.Errorf("P=%d: DA (%.0f) not above RWS (%.0f) under interference", par, results["DA"], results["RWS"])
+		}
+		if par == 2 && results["DAM-C"] < 1.5*results["RWS"] {
+			t.Errorf("P=2: DAM-C (%.0f) less than 1.5x RWS (%.0f)", results["DAM-C"], results["RWS"])
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package topology
+
+// Preset platforms mirroring the paper's two evaluation machines. The cache
+// sizes and frequencies are taken from the paper (TX2: 2 MB L2 per cluster,
+// 32 KB A57 / 64 KB Denver L1D, 2035/345 MHz DVFS extremes) and public
+// Haswell specs. Speeds are relative sustained work rates per clock: the
+// paper states Denver cores are "generally faster" than A57 cores, and
+// back-solving its absolute throughputs (Fig. 4a: RWS ≈ 900 vs DAM ≈ 3100
+// tasks/s, capacity ≈ 3300 at P=6) puts the Denver:A57 gap near 4× for the
+// scalar compute kernels; 4.0 vs 1.0 reproduces those ratios.
+
+// TX2 returns the NVIDIA Jetson TX2 platform: a dual-core Denver cluster
+// (cores 0-1) and a quad-core ARM A57 cluster (cores 2-5), each with a
+// private 2 MB L2. This matches the core numbering used by the paper's
+// Figure 5 (cores 0,1 = Denver; 2-5 = A57).
+func TX2() *Platform {
+	return MustNew([]Cluster{
+		{
+			Name:         "denver",
+			FirstCore:    0,
+			NumCores:     2,
+			Widths:       []int{1, 2},
+			Speed:        4.0,
+			BaseHz:       2.035e9,
+			L1Bytes:      64 << 10,
+			L2Bytes:      2 << 20,
+			MemBandwidth: 30e9,
+		},
+		{
+			Name:         "a57",
+			FirstCore:    2,
+			NumCores:     4,
+			Widths:       []int{1, 2, 4},
+			Speed:        1.0,
+			BaseHz:       2.035e9,
+			L1Bytes:      32 << 10,
+			L2Bytes:      2 << 20,
+			MemBandwidth: 30e9,
+		},
+	})
+}
+
+// HaswellNode returns one dual-socket 10-core Intel Xeon E5-2650v3 node:
+// two symmetric 10-core clusters (sockets), 25 MB LLC each. nodeID tags the
+// clusters for distributed runs.
+func HaswellNode(nodeID int) *Platform {
+	return MustNew(haswellClusters(nodeID, 0))
+}
+
+// haswellClusters builds the two socket clusters of one Haswell node with
+// core ids starting at firstCore.
+func haswellClusters(nodeID, firstCore int) []Cluster {
+	mk := func(name string, first int) Cluster {
+		return Cluster{
+			Name:         name,
+			FirstCore:    first,
+			NumCores:     10,
+			Widths:       []int{1, 2, 5, 10},
+			Speed:        1.6,
+			BaseHz:       2.3e9,
+			L1Bytes:      32 << 10,
+			L2Bytes:      25 << 20,
+			MemBandwidth: 60e9,
+			NodeID:       nodeID,
+		}
+	}
+	return []Cluster{
+		mk("socket0", firstCore),
+		mk("socket1", firstCore+10),
+	}
+}
+
+// Haswell16 returns the 16-core dual-socket Haswell configuration used in
+// the paper's K-means experiment (Figure 9): two symmetric 8-core sockets.
+func Haswell16() *Platform {
+	mk := func(name string, first int) Cluster {
+		return Cluster{
+			Name:         name,
+			FirstCore:    first,
+			NumCores:     8,
+			Widths:       []int{1, 2, 4, 8},
+			Speed:        1.6,
+			BaseHz:       2.3e9,
+			L1Bytes:      32 << 10,
+			L2Bytes:      20 << 20,
+			MemBandwidth: 60e9,
+		}
+	}
+	return MustNew([]Cluster{mk("socket0", 0), mk("socket1", 8)})
+}
+
+// HaswellClusterN returns an n-node distributed platform of dual-socket
+// 10-core Haswell nodes modeled as one flat core space (node i owns cores
+// [20i, 20i+20)). The distributed experiments use the NodeID fields to
+// derive rank ownership.
+func HaswellClusterN(n int) *Platform {
+	var cs []Cluster
+	for node := 0; node < n; node++ {
+		for _, c := range haswellClusters(node, node*20) {
+			c.Name = c.Name + nodeSuffix(node)
+			cs = append(cs, c)
+		}
+	}
+	return MustNew(cs)
+}
+
+func nodeSuffix(node int) string {
+	const digits = "0123456789"
+	if node < 10 {
+		return "@n" + digits[node:node+1]
+	}
+	return "@n" + digits[node/10:node/10+1] + digits[node%10:node%10+1]
+}
+
+// Symmetric returns a single-cluster platform with n identical cores and
+// power-of-two widths up to n (n must be a power of two). Useful for unit
+// tests and the quickstart example.
+func Symmetric(n int) *Platform {
+	widths := []int{}
+	for w := 1; w <= n; w *= 2 {
+		widths = append(widths, w)
+	}
+	return MustNew([]Cluster{{
+		Name:         "cpu",
+		FirstCore:    0,
+		NumCores:     n,
+		Widths:       widths,
+		Speed:        1.0,
+		BaseHz:       2e9,
+		L1Bytes:      32 << 10,
+		L2Bytes:      8 << 20,
+		MemBandwidth: 40e9,
+	}})
+}

@@ -1,0 +1,176 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	base := func() []Cluster {
+		return []Cluster{
+			{Name: "a", FirstCore: 0, NumCores: 2, Widths: []int{1, 2}, Speed: 1, BaseHz: 1e9},
+			{Name: "b", FirstCore: 2, NumCores: 4, Widths: []int{1, 2, 4}, Speed: 1, BaseHz: 1e9},
+		}
+	}
+	if _, err := New(base()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]Cluster) []Cluster
+	}{
+		{"empty", func([]Cluster) []Cluster { return nil }},
+		{"gap", func(cs []Cluster) []Cluster { cs[1].FirstCore = 3; return cs }},
+		{"zero cores", func(cs []Cluster) []Cluster { cs[0].NumCores = 0; return cs }},
+		{"bad speed", func(cs []Cluster) []Cluster { cs[0].Speed = 0; return cs }},
+		{"bad freq", func(cs []Cluster) []Cluster { cs[0].BaseHz = -1; return cs }},
+		{"width too big", func(cs []Cluster) []Cluster { cs[0].Widths = []int{1, 4}; return cs }},
+		{"width not divisor", func(cs []Cluster) []Cluster { cs[1].Widths = []int{1, 3}; return cs }},
+		{"duplicate width", func(cs []Cluster) []Cluster { cs[0].Widths = []int{1, 2, 2}; return cs }},
+		{"missing width 1", func(cs []Cluster) []Cluster { cs[0].Widths = []int{2}; return cs }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.mutate(base())); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestTX2Shape(t *testing.T) {
+	p := TX2()
+	if p.NumCores() != 6 {
+		t.Fatalf("TX2 has %d cores, want 6", p.NumCores())
+	}
+	if p.NumClusters() != 2 {
+		t.Fatalf("TX2 has %d clusters, want 2", p.NumClusters())
+	}
+	// Places: denver (C0,1),(C0,2),(C1,1); a57 (C2..5,1),(C2,2),(C4,2),(C2,4).
+	if got := len(p.Places()); got != 10 {
+		t.Fatalf("TX2 has %d places, want 10", got)
+	}
+	if p.FastestCluster() != 0 {
+		t.Fatal("TX2 fastest cluster should be the Denver cluster (0)")
+	}
+	if p.MaxWidth() != 4 {
+		t.Fatalf("TX2 max width %d, want 4", p.MaxWidth())
+	}
+}
+
+func TestPlaceFor(t *testing.T) {
+	p := TX2()
+	cases := []struct {
+		core, width int
+		wantLeader  int
+		ok          bool
+	}{
+		{0, 1, 0, true},
+		{1, 2, 0, true}, // aligned down to leader 0
+		{3, 2, 2, true},
+		{5, 4, 2, true},
+		{0, 4, 0, false}, // denver has no width 4
+		{2, 3, 0, false},
+	}
+	for _, tc := range cases {
+		pl, ok := p.PlaceFor(tc.core, tc.width)
+		if ok != tc.ok {
+			t.Fatalf("PlaceFor(%d,%d) ok=%v want %v", tc.core, tc.width, ok, tc.ok)
+		}
+		if ok && pl.Leader != tc.wantLeader {
+			t.Fatalf("PlaceFor(%d,%d) leader=%d want %d", tc.core, tc.width, pl.Leader, tc.wantLeader)
+		}
+	}
+}
+
+func TestPlaceIDRoundTrip(t *testing.T) {
+	p := HaswellClusterN(2)
+	for id, pl := range p.Places() {
+		if got := p.PlaceID(pl); got != id {
+			t.Fatalf("PlaceID(%v) = %d, want %d", pl, got, id)
+		}
+		if !p.Valid(pl) {
+			t.Fatalf("place %v reported invalid", pl)
+		}
+	}
+	if p.PlaceID(Place{Leader: 1, Width: 2}) != -1 {
+		t.Fatal("misaligned place reported valid")
+	}
+	if p.PlaceID(Place{Leader: 999, Width: 1}) != -1 {
+		t.Fatal("out-of-range place reported valid")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	p := TX2()
+	m := p.Members(Place{Leader: 2, Width: 4})
+	want := []int{2, 3, 4, 5}
+	for i, c := range want {
+		if m[i] != c {
+			t.Fatalf("Members = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestCoresOfAndClusterOf(t *testing.T) {
+	p := TX2()
+	for ci := 0; ci < p.NumClusters(); ci++ {
+		for _, core := range p.CoresOf(ci) {
+			if p.ClusterOf(core) != ci {
+				t.Fatalf("core %d reported in cluster %d, want %d", core, p.ClusterOf(core), ci)
+			}
+		}
+	}
+}
+
+// Property: every valid place returned by PlaceFor contains the queried
+// core and is aligned to its width.
+func TestPlaceForProperty(t *testing.T) {
+	p := Haswell16()
+	check := func(coreRaw, widthRaw uint8) bool {
+		core := int(coreRaw) % p.NumCores()
+		widths := p.WidthsFor(core)
+		width := widths[int(widthRaw)%len(widths)]
+		pl, ok := p.PlaceFor(core, width)
+		if !ok {
+			return false
+		}
+		if !p.Valid(pl) {
+			return false
+		}
+		if core < pl.Leader || core >= pl.Leader+pl.Width {
+			return false
+		}
+		base := p.Cluster(p.ClusterOf(core)).FirstCore
+		return (pl.Leader-base)%pl.Width == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetric(t *testing.T) {
+	p := Symmetric(8)
+	if p.NumCores() != 8 || p.NumClusters() != 1 {
+		t.Fatalf("Symmetric(8): %d cores, %d clusters", p.NumCores(), p.NumClusters())
+	}
+	if p.MaxWidth() != 8 {
+		t.Fatalf("Symmetric(8) max width %d", p.MaxWidth())
+	}
+}
+
+func TestHaswellClusterNodes(t *testing.T) {
+	p := HaswellClusterN(4)
+	if p.NumCores() != 80 {
+		t.Fatalf("4-node cluster has %d cores, want 80", p.NumCores())
+	}
+	if p.Cluster(0).NodeID != 0 || p.Cluster(7).NodeID != 3 {
+		t.Fatal("node ids not assigned per socket pair")
+	}
+}
+
+func TestPlaceString(t *testing.T) {
+	if s := (Place{Leader: 2, Width: 4}).String(); s != "(C2,4)" {
+		t.Fatalf("Place.String() = %q", s)
+	}
+}

@@ -1,0 +1,133 @@
+// Package trace records per-task execution events and exports them in the
+// Chrome trace-event format (chrome://tracing, Perfetto), giving the same
+// post-mortem visibility into schedules that XiTAO's tracing offers: one
+// lane per core, one slice per task execution, with place, priority and
+// type attached.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one recorded task execution.
+type Event struct {
+	// Label is the task label.
+	Label string
+	// Category classifies the event ("task", "comm", …).
+	Category string
+	// Core is the lane the event is drawn in (the executing core).
+	Core int
+	// Start and End are in seconds (virtual or wall, engine-dependent).
+	Start, End float64
+	// Leader and Width describe the execution place.
+	Leader, Width int
+	// High marks critical tasks.
+	High bool
+}
+
+// Recorder accumulates events. It is safe for concurrent use and cheap
+// when nil: all methods are nil-tolerant so runtimes can call them
+// unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records one event. Safe on a nil recorder.
+func (r *Recorder) Add(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// chromeEvent is the trace-event JSON schema (complete events, ph "X").
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the events as a Chrome trace-event JSON array.
+// Load the file in chrome://tracing or https://ui.perfetto.dev.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		cat := ev.Category
+		if cat == "" {
+			cat = "task"
+		}
+		prio := "low"
+		if ev.High {
+			prio = "high"
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Label,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   ev.Start * 1e6,
+			Dur:  (ev.End - ev.Start) * 1e6,
+			Pid:  0,
+			Tid:  ev.Core,
+			Args: map[string]string{
+				"place":    fmt.Sprintf("(C%d,%d)", ev.Leader, ev.Width),
+				"priority": prio,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Utilization returns per-core busy fractions over [0, horizon]; cores
+// beyond the observed maximum are omitted.
+func (r *Recorder) Utilization(horizon float64) map[int]float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	busy := map[int]float64{}
+	for _, ev := range r.Events() {
+		busy[ev.Core] += ev.End - ev.Start
+	}
+	for c := range busy {
+		busy[c] /= horizon
+	}
+	return busy
+}

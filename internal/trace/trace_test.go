@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Event{Label: "x"})
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+}
+
+func TestEventsSortedByStart(t *testing.T) {
+	r := New()
+	r.Add(Event{Label: "b", Start: 2, End: 3})
+	r.Add(Event{Label: "a", Start: 1, End: 2})
+	evs := r.Events()
+	if evs[0].Label != "a" || evs[1].Label != "b" {
+		t.Fatalf("events not sorted: %+v", evs)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := New()
+	r.Add(Event{Label: "t0", Core: 1, Start: 0.001, End: 0.002, Leader: 0, Width: 2, High: true})
+	r.Add(Event{Label: "t1", Core: 0, Start: 0.0, End: 0.001, Leader: 0, Width: 1})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d events", len(out))
+	}
+	if out[1]["name"] != "t0" || out[1]["ph"] != "X" {
+		t.Fatalf("event = %v", out[1])
+	}
+	if out[1]["tid"].(float64) != 1 {
+		t.Fatal("tid should be the core id")
+	}
+	args := out[1]["args"].(map[string]any)
+	if args["place"] != "(C0,2)" || args["priority"] != "high" {
+		t.Fatalf("args = %v", args)
+	}
+	// Duration in microseconds.
+	if dur := out[1]["dur"].(float64); dur < 999 || dur > 1001 {
+		t.Fatalf("dur = %v µs", dur)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := New()
+	r.Add(Event{Core: 0, Start: 0, End: 1})
+	r.Add(Event{Core: 0, Start: 1, End: 2})
+	r.Add(Event{Core: 1, Start: 0, End: 1})
+	u := r.Utilization(4)
+	if u[0] != 0.5 || u[1] != 0.25 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if r.Utilization(0) != nil {
+		t.Fatal("zero horizon should return nil")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Event{Core: i % 4, Start: float64(i), End: float64(i) + 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dynasym/internal/dag"
+	"dynasym/internal/kernels"
+	"dynasym/internal/machine"
+	"dynasym/internal/ptt"
+	"dynasym/internal/xrand"
+)
+
+// Heat is the shared-memory 2D heat diffusion (Jacobi) application: an
+// iterative 5-point stencil over a Rows×Cols grid decomposed into row
+// blocks. Block b of iteration i depends on blocks b−1, b, b+1 of
+// iteration i−1. Used by the examples and as the single-node counterpart
+// of the paper's distributed Heat.
+type Heat struct {
+	Rows, Cols int
+	Blocks     int
+	Iters      int
+	// grids are double-buffered; bodies write next from cur.
+	cur, next []float64
+	// initial preserves the starting state for Reference.
+	initial []float64
+
+	blockCost machine.Cost
+}
+
+// HeatTypeCompute is the PTT task type of heat block updates.
+const HeatTypeCompute ptt.TypeID = kernels.TypeUser + 8
+
+// HeatConfig parameterizes NewHeat.
+type HeatConfig struct {
+	Rows, Cols int
+	Blocks     int
+	Iters      int
+	Seed       uint64
+}
+
+// Defaults fills unset fields with example-scale values.
+func (c HeatConfig) Defaults() HeatConfig {
+	if c.Rows == 0 {
+		c.Rows = 512
+	}
+	if c.Cols == 0 {
+		c.Cols = 512
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 8
+	}
+	if c.Iters == 0 {
+		c.Iters = 50
+	}
+	return c
+}
+
+// NewHeat allocates the grids with a deterministic hot-spot initial state.
+func NewHeat(cfg HeatConfig) *Heat {
+	cfg = cfg.Defaults()
+	h := &Heat{
+		Rows: cfg.Rows, Cols: cfg.Cols,
+		Blocks: cfg.Blocks, Iters: cfg.Iters,
+		cur:  make([]float64, cfg.Rows*cfg.Cols),
+		next: make([]float64, cfg.Rows*cfg.Cols),
+	}
+	rng := xrand.New(cfg.Seed)
+	// A few hot spots plus hot top boundary.
+	for c := 0; c < cfg.Cols; c++ {
+		h.cur[c] = 100
+		h.next[c] = 100
+	}
+	for i := 0; i < 8; i++ {
+		r := 1 + rng.Intn(cfg.Rows-2)
+		c := rng.Intn(cfg.Cols)
+		h.cur[r*cfg.Cols+c] = 80
+		h.next[r*cfg.Cols+c] = 80
+	}
+	h.initial = append([]float64(nil), h.cur...)
+	pts := float64(cfg.Rows*cfg.Cols) / float64(cfg.Blocks)
+	h.blockCost = machine.Cost{
+		Ops:          6 * pts / 0.5,
+		Bytes:        2 * 8 * pts,
+		WorkingSet:   2 * 8 * pts,
+		SyncSeconds:  2e-6,
+		WidthPenalty: 0.08,
+	}
+	return h
+}
+
+// blockRows returns block b's half-open interior row interval.
+func (h *Heat) blockRows(b int) (lo, hi int) {
+	interior := h.Rows - 2
+	lo = 1 + b*interior/h.Blocks
+	hi = 1 + (b+1)*interior/h.Blocks
+	return lo, hi
+}
+
+// blockBody updates one block of one iteration; grids alternate by
+// iteration parity, so tasks of the same iteration never conflict.
+func (h *Heat) blockBody(iter, b int) func(dag.Exec) {
+	return func(e dag.Exec) {
+		src, dst := h.cur, h.next
+		if iter%2 == 1 {
+			src, dst = dst, src
+		}
+		lo, hi := h.blockRows(b)
+		span := hi - lo
+		mlo := lo + e.Part*span/e.Width
+		mhi := lo + (e.Part+1)*span/e.Width
+		n := h.Cols
+		for r := mlo; r < mhi; r++ {
+			row := r * n
+			for c := 1; c < n-1; c++ {
+				dst[row+c] = 0.2 * (src[row+c] + src[row+c-1] + src[row+c+1] + src[row-n+c] + src[row+n+c])
+			}
+			dst[row] = src[row]
+			dst[row+n-1] = src[row+n-1]
+		}
+	}
+}
+
+// Build constructs the full static DAG (Iters × Blocks tasks).
+func (h *Heat) Build() *dag.Graph {
+	g := dag.New()
+	prev := make([]*dag.Task, h.Blocks)
+	for iter := 0; iter < h.Iters; iter++ {
+		cur := make([]*dag.Task, h.Blocks)
+		for b := 0; b < h.Blocks; b++ {
+			t := &dag.Task{
+				Label: fmt.Sprintf("heat[%d.%d]", iter, b),
+				Type:  HeatTypeCompute,
+				Cost:  h.blockCost,
+				Body:  h.blockBody(iter, b),
+				Iter:  iter,
+			}
+			if iter == 0 {
+				g.Add(t)
+			} else {
+				deps := []*dag.Task{prev[b]}
+				if b > 0 {
+					deps = append(deps, prev[b-1])
+				}
+				if b < h.Blocks-1 {
+					deps = append(deps, prev[b+1])
+				}
+				g.Add(t, deps...)
+			}
+			cur[b] = t
+		}
+		prev = cur
+	}
+	return g
+}
+
+// Result returns the grid after the final iteration.
+func (h *Heat) Result() []float64 {
+	if h.Iters%2 == 1 {
+		return h.next
+	}
+	return h.cur
+}
+
+// Reference computes the same diffusion serially from the initial state,
+// for correctness tests. It may be called before or after the parallel run.
+func (h *Heat) Reference() []float64 {
+	cur := append([]float64(nil), h.initial...)
+	next := append([]float64(nil), h.initial...)
+	n := h.Cols
+	for iter := 0; iter < h.Iters; iter++ {
+		for r := 1; r < h.Rows-1; r++ {
+			row := r * n
+			for c := 1; c < n-1; c++ {
+				next[row+c] = 0.2 * (cur[row+c] + cur[row+c-1] + cur[row+c+1] + cur[row-n+c] + cur[row+n+c])
+			}
+			next[row] = cur[row]
+			next[row+n-1] = cur[row+n-1]
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

@@ -1,0 +1,262 @@
+// Package workloads builds the paper's benchmark applications as task
+// graphs: the synthetic layered DAGs (Section 4.2.2), K-means clustering as
+// a dynamic DAG, and 2D Heat in shared-memory and distributed variants.
+package workloads
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dynasym/internal/dag"
+	"dynasym/internal/kernels"
+	"dynasym/internal/machine"
+	"dynasym/internal/ptt"
+	"dynasym/internal/xrand"
+)
+
+// KernelKind selects the node type of a synthetic DAG.
+type KernelKind int
+
+// The three kernel classes of the paper's synthetic DAGs.
+const (
+	MatMul  KernelKind = iota // compute-intensive
+	Copy                      // memory-intensive
+	Stencil                   // cache-intensive
+)
+
+// String returns the paper's kernel name.
+func (k KernelKind) String() string {
+	switch k {
+	case MatMul:
+		return "MatMul"
+	case Copy:
+		return "Copy"
+	case Stencil:
+		return "Stencil"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+}
+
+// TypeID returns the PTT task type for the kernel.
+func (k KernelKind) TypeID() ptt.TypeID {
+	switch k {
+	case MatMul:
+		return kernels.TypeMatMul
+	case Copy:
+		return kernels.TypeCopy
+	case Stencil:
+		return kernels.TypeStencil
+	default:
+		return kernels.TypeUser
+	}
+}
+
+// SyntheticConfig describes one synthetic layered DAG, following the paper:
+// every layer holds Parallelism tasks of the same type; one task per layer
+// is critical and releases the next layer when it completes.
+type SyntheticConfig struct {
+	// Kernel selects the node type.
+	Kernel KernelKind
+	// Tile is the square tile edge per task (paper defaults: 64 for
+	// MatMul, 1024 for Copy and Stencil).
+	Tile int
+	// Sweeps is the number of stencil sweeps per task (ignored
+	// otherwise). Defaults to 1, matching the per-task times the paper's
+	// stencil throughputs imply.
+	Sweeps int
+	// Tasks is the total number of tasks (paper defaults: 32000 MatMul,
+	// 10000 Copy, 20000 Stencil). Rounded down to a whole number of
+	// layers.
+	Tasks int
+	// Parallelism is the DAG parallelism P (tasks per layer).
+	Parallelism int
+	// MakeBodies attaches real compute bodies for the real runtime.
+	// Kernel instances are pooled and reused between tasks, so memory
+	// stays bounded regardless of Tasks.
+	MakeBodies bool
+	// Seed drives operand initialization when MakeBodies is set.
+	Seed uint64
+}
+
+// Defaults fills unset fields with the paper's values for the kernel.
+func (c SyntheticConfig) Defaults() SyntheticConfig {
+	if c.Tile == 0 {
+		if c.Kernel == MatMul {
+			c.Tile = 64
+		} else {
+			c.Tile = 1024
+		}
+	}
+	if c.Sweeps == 0 {
+		c.Sweeps = 1
+	}
+	if c.Tasks == 0 {
+		switch c.Kernel {
+		case MatMul:
+			c.Tasks = 32000
+		case Copy:
+			c.Tasks = 10000
+		default:
+			c.Tasks = 20000
+		}
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 4
+	}
+	return c
+}
+
+// Cost returns the machine-model cost of one task of this configuration.
+func (c SyntheticConfig) Cost() machine.Cost {
+	switch c.Kernel {
+	case MatMul:
+		return kernels.MatMulCost(c.Tile)
+	case Copy:
+		return kernels.CopyCost(c.Tile)
+	default:
+		return kernels.StencilCost(c.Tile, c.Sweeps)
+	}
+}
+
+// kernelPool hands out exclusive kernel instances so concurrent real-mode
+// tasks never share writable buffers while total allocation stays bounded
+// by the peak concurrency rather than the task count.
+type kernelPool struct {
+	pool sync.Pool
+}
+
+func newKernelPool(cfg SyntheticConfig, seed uint64) *kernelPool {
+	var mu sync.Mutex
+	rng := xrand.New(seed)
+	kp := &kernelPool{}
+	kp.pool.New = func() any {
+		mu.Lock()
+		r := rng.Split()
+		mu.Unlock()
+		switch cfg.Kernel {
+		case MatMul:
+			return kernels.NewMatMul(cfg.Tile, r)
+		case Copy:
+			return kernels.NewCopy(cfg.Tile, r)
+		default:
+			return kernels.NewStencil(cfg.Tile, cfg.Sweeps, r)
+		}
+	}
+	return kp
+}
+
+// taskBody builds the real body for one task. All members of a moldable
+// place must operate on one shared kernel instance; whichever member
+// arrives first draws it from the pool, and the last member to finish
+// returns it.
+func (kp *kernelPool) taskBody() func(dag.Exec) {
+	var (
+		once sync.Once
+		inst any
+		done atomic.Int32
+	)
+	return func(e dag.Exec) {
+		once.Do(func() { inst = kp.pool.Get() })
+		runKernel(inst, e)
+		if done.Add(1) == int32(e.Width) {
+			kp.pool.Put(inst)
+			// Reset for the (impossible) case of body reuse: bodies are
+			// per-task, so this is only defensive.
+			done.Store(0)
+		}
+	}
+}
+
+func runKernel(inst any, e dag.Exec) {
+	switch k := inst.(type) {
+	case *kernels.MatMul:
+		k.Body(e)
+	case *kernels.Copy:
+		k.Body(e)
+	case *kernels.Stencil:
+		k.Body(e)
+	default:
+		panic("workloads: unknown kernel instance")
+	}
+}
+
+// BuildSynthetic constructs the layered synthetic DAG. Layer i's critical
+// task releases all of layer i+1, so DAG parallelism (total tasks / longest
+// path) equals cfg.Parallelism exactly.
+func BuildSynthetic(cfg SyntheticConfig) *dag.Graph {
+	cfg = cfg.Defaults()
+	g := dag.New()
+	layers := cfg.Tasks / cfg.Parallelism
+	if layers == 0 {
+		layers = 1
+	}
+	cost := cfg.Cost()
+	typeID := cfg.Kernel.TypeID()
+	var kp *kernelPool
+	if cfg.MakeBodies {
+		kp = newKernelPool(cfg, cfg.Seed)
+	}
+	var prevCritical *dag.Task
+	for layer := 0; layer < layers; layer++ {
+		var critical *dag.Task
+		for i := 0; i < cfg.Parallelism; i++ {
+			t := &dag.Task{
+				Label: fmt.Sprintf("%s[L%d.%d]", cfg.Kernel, layer, i),
+				Type:  typeID,
+				High:  i == 0,
+				Cost:  cost,
+				Iter:  layer,
+			}
+			if kp != nil {
+				t.Body = kp.taskBody()
+			}
+			if prevCritical != nil {
+				g.Add(t, prevCritical)
+			} else {
+				g.Add(t)
+			}
+			if i == 0 {
+				critical = t
+			}
+		}
+		prevCritical = critical
+	}
+	return g
+}
+
+// ChainConfig describes the paper's interfering co-runner: a single serial
+// chain of kernel tasks pinned (by the interference scenario) to one core.
+type ChainConfig struct {
+	Kernel KernelKind
+	Tile   int
+	Length int
+}
+
+// BuildChain constructs a serial task chain (DAG parallelism 1).
+func BuildChain(cfg ChainConfig) *dag.Graph {
+	if cfg.Tile == 0 {
+		cfg.Tile = 64
+	}
+	if cfg.Length == 0 {
+		cfg.Length = 1000
+	}
+	g := dag.New()
+	cost := SyntheticConfig{Kernel: cfg.Kernel, Tile: cfg.Tile}.Defaults().Cost()
+	var prev *dag.Task
+	for i := 0; i < cfg.Length; i++ {
+		t := &dag.Task{
+			Label: fmt.Sprintf("chain[%d]", i),
+			Type:  cfg.Kernel.TypeID(),
+			Cost:  cost,
+		}
+		if prev != nil {
+			g.Add(t, prev)
+		} else {
+			g.Add(t)
+		}
+		prev = t
+	}
+	return g
+}

@@ -1,0 +1,247 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"dynasym/internal/dag"
+	"dynasym/internal/kernels"
+)
+
+func TestSyntheticStructure(t *testing.T) {
+	g := BuildSynthetic(SyntheticConfig{Kernel: MatMul, Tile: 64, Tasks: 120, Parallelism: 4})
+	if g.Total() != 120 {
+		t.Fatalf("total = %d, want 120", g.Total())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if par := g.Parallelism(); par != 4 {
+		t.Fatalf("DAG parallelism = %g, want 4 (the paper's definition)", par)
+	}
+	// Exactly one critical task per layer.
+	high := 0
+	for _, tsk := range g.Tasks() {
+		if tsk.High {
+			high++
+		}
+	}
+	if high != 30 {
+		t.Fatalf("%d critical tasks, want 30 (one per layer)", high)
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	cfg := SyntheticConfig{Kernel: Copy}.Defaults()
+	if cfg.Tile != 1024 || cfg.Tasks != 10000 {
+		t.Fatalf("copy defaults = %+v", cfg)
+	}
+	cfg = (SyntheticConfig{Kernel: MatMul}).Defaults()
+	if cfg.Tile != 64 || cfg.Tasks != 32000 {
+		t.Fatalf("matmul defaults = %+v", cfg)
+	}
+	if (SyntheticConfig{Kernel: Stencil}).Defaults().Tasks != 20000 {
+		t.Fatal("stencil default task count wrong")
+	}
+}
+
+func TestSyntheticCriticalReleasesNextLayer(t *testing.T) {
+	g := BuildSynthetic(SyntheticConfig{Kernel: Copy, Tasks: 8, Parallelism: 2})
+	ready := g.Start()
+	if len(ready) != 2 {
+		t.Fatalf("layer 0 has %d ready tasks, want 2", len(ready))
+	}
+	var crit, low *dag.Task
+	for _, tsk := range ready {
+		if tsk.High {
+			crit = tsk
+		} else {
+			low = tsk
+		}
+	}
+	// Completing the low task releases nothing.
+	low.MarkRunning()
+	if next, _ := g.Complete(low); len(next) != 0 {
+		t.Fatal("low task released the next layer")
+	}
+	// Completing the critical task releases the whole next layer.
+	crit.MarkRunning()
+	next, _ := g.Complete(crit)
+	if len(next) != 2 {
+		t.Fatalf("critical task released %d tasks, want 2", len(next))
+	}
+}
+
+func TestBuildChain(t *testing.T) {
+	g := BuildChain(ChainConfig{Kernel: MatMul, Length: 50})
+	if g.Total() != 50 {
+		t.Fatalf("chain length = %d", g.Total())
+	}
+	if par := g.Parallelism(); par != 1 {
+		t.Fatalf("chain parallelism = %g, want 1", par)
+	}
+}
+
+func TestKernelKindString(t *testing.T) {
+	if MatMul.String() != "MatMul" || Copy.String() != "Copy" || Stencil.String() != "Stencil" {
+		t.Fatal("kernel names wrong")
+	}
+	if MatMul.TypeID() != kernels.TypeMatMul {
+		t.Fatal("type ids wrong")
+	}
+}
+
+func TestKMeansGrainPartition(t *testing.T) {
+	km := NewKMeans(KMeansConfig{N: 10000, Grains: 16})
+	covered := 0
+	largest := 0
+	for g := 0; g < km.Grains; g++ {
+		lo, hi := kmGrainRange(km, g)
+		if hi < lo {
+			t.Fatalf("grain %d inverted: [%d,%d)", g, lo, hi)
+		}
+		covered += hi - lo
+		if hi-lo > largest {
+			largest = hi - lo
+		}
+	}
+	if covered != km.N {
+		t.Fatalf("grains cover %d points, want %d", covered, km.N)
+	}
+	// The jumbo grain is the largest.
+	lo, hi := kmGrainRange(km, km.Grains-1)
+	if hi-lo != largest {
+		t.Fatal("last grain is not the largest work unit")
+	}
+	if float64(hi-lo) < 0.9*km.JumboFrac*float64(km.N) {
+		t.Fatalf("jumbo grain %d points, want ≈ %g", hi-lo, km.JumboFrac*float64(km.N))
+	}
+}
+
+// kmGrainRange exposes the internal grain bounds through the public graph
+// structure: it rebuilds the same arithmetic used by assignBody.
+func kmGrainRange(km *KMeans, g int) (int, int) {
+	return km.grainRange(g)
+}
+
+func TestKMeansGraphShape(t *testing.T) {
+	km := NewKMeans(KMeansConfig{N: 1 << 10, Grains: 8, MaxIters: 3})
+	g := km.Build()
+	// Only the first iteration is static: 8 assigns + 1 reduce.
+	if g.Total() != 9 {
+		t.Fatalf("initial graph has %d tasks, want 9", g.Total())
+	}
+	high := 0
+	for _, tsk := range g.Tasks() {
+		if tsk.High {
+			high++
+		}
+	}
+	if high != 1 {
+		t.Fatalf("%d high tasks, want 1 (the largest work unit)", high)
+	}
+}
+
+func TestKMeansConvergesOnBlobs(t *testing.T) {
+	km := NewKMeans(KMeansConfig{N: 2000, D: 4, K: 4, Grains: 8, MaxIters: 50, Epsilon: 1e-6, Seed: 5, BlobStd: 0.02})
+	g := km.Build()
+	// Run serially through the graph, executing bodies.
+	ready := g.Start()
+	for len(ready) > 0 {
+		tsk := ready[0]
+		ready = ready[1:]
+		tsk.MarkRunning()
+		if tsk.Body != nil {
+			tsk.Body(dag.Exec{Part: 0, Width: 1})
+		}
+		next, _ := g.Complete(tsk)
+		ready = append(ready, next...)
+	}
+	if km.Iters >= 50 {
+		t.Fatalf("k-means did not converge in %d iterations", km.Iters)
+	}
+	// With tight blobs and K == blob count, inertia per point is small.
+	if in := km.Inertia() / float64(km.N); in > 0.01 {
+		t.Fatalf("inertia per point %g too high — clustering failed", in)
+	}
+}
+
+func TestHeatParallelMatchesReferenceSerially(t *testing.T) {
+	h := NewHeat(HeatConfig{Rows: 32, Cols: 32, Blocks: 4, Iters: 7, Seed: 9})
+	g := h.Build()
+	ready := g.Start()
+	for len(ready) > 0 {
+		tsk := ready[0]
+		ready = ready[1:]
+		tsk.MarkRunning()
+		tsk.Body(dag.Exec{Part: 0, Width: 1})
+		next, _ := g.Complete(tsk)
+		ready = append(ready, next...)
+	}
+	got, want := h.Result(), h.Reference()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("heat diverges at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeatGraphShape(t *testing.T) {
+	h := NewHeat(HeatConfig{Rows: 64, Cols: 64, Blocks: 8, Iters: 10})
+	g := h.Build()
+	if g.Total() != 80 {
+		t.Fatalf("heat graph has %d tasks", g.Total())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Block dependencies bound parallelism by the block count.
+	if par := g.Parallelism(); par > 8+1e-9 {
+		t.Fatalf("heat parallelism %g exceeds block count", par)
+	}
+}
+
+func TestHeatDistGraphShape(t *testing.T) {
+	hd := NewHeatDist(HeatDistConfig{Nodes: 3, BlocksPerNode: 4, Iters: 5, RowsPerBlock: 8, Cols: 64})
+	for node := 0; node < 3; node++ {
+		g := hd.BuildNode(node)
+		// 5 iterations × (4 blocks + 1 exchange).
+		if g.Total() != 25 {
+			t.Fatalf("node %d graph has %d tasks, want 25", node, g.Total())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		high := 0
+		for _, tsk := range g.Tasks() {
+			if tsk.High {
+				high++
+				if tsk.Type != kernels.TypeComm {
+					t.Fatal("high task is not a comm task")
+				}
+				hc := tsk.Data.(*HeatComm)
+				if hc.Node != node {
+					t.Fatalf("comm task node = %d, want %d", hc.Node, node)
+				}
+				for _, p := range hc.Peers {
+					if p != node-1 && p != node+1 {
+						t.Fatalf("bad peer %d for node %d", p, node)
+					}
+				}
+			}
+		}
+		if high != 5 {
+			t.Fatalf("node %d has %d high tasks, want 5", node, high)
+		}
+	}
+}
+
+func TestHeatDistCostShapes(t *testing.T) {
+	hd := NewHeatDist(HeatDistConfig{})
+	if hd.ComputeCost.Ops <= 0 || hd.CommCost.Ops <= 0 {
+		t.Fatal("costs not derived")
+	}
+	if hd.BoundaryBytes() != float64(hd.Cols)*8 {
+		t.Fatal("boundary size wrong")
+	}
+}

@@ -1,0 +1,134 @@
+package xtr_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dynasym/internal/core"
+	"dynasym/internal/dag"
+	"dynasym/internal/ptt"
+	"dynasym/internal/topology"
+	"dynasym/internal/xtr"
+)
+
+// moldEverything is a test policy that molds every task across the whole
+// platform, exercising the real assembly rendezvous at maximum width.
+type moldEverything struct {
+	core.Policy
+	topo *topology.Platform
+}
+
+func (m moldEverything) Name() string { return "mold-all" }
+func (m moldEverything) DispatchPlace(*core.Context) topology.Place {
+	return topology.Place{Leader: 0, Width: m.topo.NumCores()}
+}
+
+func TestMoldableExecutesEveryPart(t *testing.T) {
+	topo := topology.Symmetric(4)
+	g := dag.New()
+	const tasks = 50
+	var parts [4]atomic.Int32
+	var widthErr atomic.Int32
+	for i := 0; i < tasks; i++ {
+		g.Add(&dag.Task{
+			Label: "mold",
+			Body: func(e dag.Exec) {
+				if e.Width != 4 {
+					widthErr.Add(1)
+					return
+				}
+				parts[e.Part].Add(1)
+			},
+		})
+	}
+	rt, err := xtr.New(xtr.Config{Topo: topo, Policy: moldEverything{core.RWS(), topo}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if widthErr.Load() != 0 {
+		t.Fatalf("%d bodies saw a wrong width", widthErr.Load())
+	}
+	for p := 0; p < 4; p++ {
+		if parts[p].Load() != tasks {
+			t.Fatalf("partition %d executed %d times, want %d", p, parts[p].Load(), tasks)
+		}
+	}
+}
+
+// TestPTTLearnsFromRealExecution checks that real wall-clock spans populate
+// the trace tables.
+func TestPTTLearnsFromRealExecution(t *testing.T) {
+	topo := topology.Symmetric(2)
+	g := dag.New()
+	spin := func(dag.Exec) {
+		x := 1.0
+		for i := 0; i < 200000; i++ {
+			x = x*1.0000001 + 1e-9
+		}
+		_ = x
+	}
+	var prev *dag.Task
+	for i := 0; i < 30; i++ {
+		t := &dag.Task{Label: "spin", Type: 3, Body: spin}
+		if prev == nil {
+			g.Add(t)
+		} else {
+			g.Add(t, prev)
+		}
+		prev = t
+	}
+	rt, err := xtr.New(xtr.Config{Topo: topo, Policy: core.DAMC(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	tbl := rt.Registry().Get(ptt.TypeID(3))
+	measured := 0
+	for _, v := range tbl.Snapshot() {
+		if v > 0 {
+			measured++
+		}
+	}
+	if measured == 0 {
+		t.Fatal("no PTT entries measured from real execution")
+	}
+}
+
+// TestConcurrentGraphsIndependentRuntimes runs two runtimes concurrently to
+// shake out shared-state bugs (the dispatch mutex is package-global).
+func TestConcurrentGraphsIndependentRuntimes(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := dag.New()
+			var count atomic.Int32
+			for j := 0; j < 100; j++ {
+				g.Add(&dag.Task{Body: func(dag.Exec) { count.Add(1) }})
+			}
+			rt, err := xtr.New(xtr.Config{Topo: topology.Symmetric(2), Policy: core.RWS(), Seed: uint64(i)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = rt.Run(g)
+			if count.Load() != 100 {
+				t.Errorf("runtime %d executed %d bodies", i, count.Load())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("runtime %d: %v", i, err)
+		}
+	}
+}

@@ -1,10 +1,12 @@
-// Command asymbench regenerates the paper's tables and figures.
+// Command asymbench regenerates the paper's tables and figures, and runs
+// the named scenario families that extend the evaluation beyond the paper.
 //
 // Usage:
 //
-//	asymbench -exp fig4a            # one experiment
-//	asymbench -exp all              # everything, paper order
-//	asymbench -exp fig4a -scale 0.1 # scaled down (faster)
+//	asymbench -exp fig4a                 # one experiment
+//	asymbench -exp all                   # everything, paper order
+//	asymbench -exp fig4a -scale 0.1     # scaled down (faster)
+//	asymbench -scenario burst-sweep     # a registered scenario family
 //	asymbench -list
 //
 // Output is plain text, one table per experiment; see EXPERIMENTS.md for
@@ -20,27 +22,55 @@ import (
 	"time"
 
 	"dynasym/internal/experiments"
+	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list) or 'all'")
-		scale = flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper scale")
-		seed  = flag.Uint64("seed", 42, "base random seed")
-		list  = flag.Bool("list", false, "list experiment ids")
+		exp      = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		scenName = flag.String("scenario", "", "named scenario family (see -list)")
+		scale    = flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper scale")
+		seed     = flag.Uint64("seed", 42, "base random seed")
+		list     = flag.Bool("list", false, "list experiment ids and scenario families")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *scenName == "") {
 		fmt.Println("experiments:")
 		for _, n := range experiments.Names() {
 			fmt.Printf("  %s\n", n)
 		}
-		if *exp == "" {
+		fmt.Println("scenario families (-scenario):")
+		for _, n := range scenario.Names() {
+			f, _ := scenario.Lookup(n)
+			fmt.Printf("  %-14s %s\n", n, f.Desc)
+		}
+		if *exp == "" && *scenName == "" {
 			os.Exit(2)
 		}
 		return
+	}
+
+	if *scenName != "" {
+		f, ok := scenario.Lookup(*scenName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "asymbench: unknown scenario %q (try -list)\n", *scenName)
+			os.Exit(1)
+		}
+		spec := f.Spec(*scale)
+		spec.Seed = *seed
+		start := time.Now()
+		res, err := scenario.Run(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymbench: %v\n", err)
+			os.Exit(1)
+		}
+		res.WriteTable(os.Stdout)
+		fmt.Printf("(%s on %s in %.1fs)\n", *scenName, res.Topo, time.Since(start).Seconds())
+		if *exp == "" {
+			return
+		}
 	}
 
 	ids := []string{*exp}

@@ -1,13 +1,15 @@
 // Command dagsim runs a single synthetic-DAG scenario on the simulated
 // platform and prints throughput, per-core work time and the priority-task
 // placement histogram. It is the quickest way to poke at one scheduling
-// configuration.
+// configuration: the flags assemble a scenario.Spec and hand it to the
+// declarative engine.
 //
 // Examples:
 //
 //	dagsim -policy DAM-C -kernel matmul -parallelism 2 -interfere corun
 //	dagsim -policy RWS -kernel copy -interfere dvfs -tasks 5000
 //	dagsim -policy DAM-P -platform haswell16 -interfere none
+//	dagsim -policy DAM-C~8 -platform scaleout-8x8 -interfere burst -parallelism 16
 package main
 
 import (
@@ -17,10 +19,7 @@ import (
 	"strings"
 
 	"dynasym/internal/core"
-	"dynasym/internal/interfere"
-	"dynasym/internal/machine"
-	"dynasym/internal/simrt"
-	"dynasym/internal/topology"
+	"dynasym/internal/scenario"
 	"dynasym/internal/trace"
 	"dynasym/internal/workloads"
 )
@@ -29,11 +28,11 @@ func main() {
 	var (
 		policyName  = flag.String("policy", "DAM-C", "scheduling policy (RWS, RWSM-C, FA, FAM-C, DA, DAM-C, DAM-P, dHEFT)")
 		kernelName  = flag.String("kernel", "matmul", "kernel: matmul, copy, stencil")
-		platform    = flag.String("platform", "tx2", "platform: tx2, haswell16, sym8")
+		platform    = flag.String("platform", "tx2", "platform preset: tx2, haswell16, haswell-node, sym<N>, scaleout-<C>x<N>")
 		parallelism = flag.Int("parallelism", 4, "DAG parallelism (tasks per layer)")
 		tasks       = flag.Int("tasks", 10000, "total tasks")
 		tile        = flag.Int("tile", 0, "tile size (0 = kernel default)")
-		scenario    = flag.String("interfere", "corun", "interference: none, corun, memory, dvfs")
+		disturb     = flag.String("interfere", "corun", "interference: none, corun, memory, dvfs, burst, throttle")
 		share       = flag.Float64("share", 0.5, "victim core availability under co-run")
 		seed        = flag.Uint64("seed", 42, "random seed")
 		alpha       = flag.Float64("alpha", 0, "PTT new-sample weight (0 = paper's 1/5)")
@@ -44,17 +43,6 @@ func main() {
 	pol, err := core.ByName(*policyName)
 	if err != nil {
 		fatal(err)
-	}
-	var topo *topology.Platform
-	switch *platform {
-	case "tx2":
-		topo = topology.TX2()
-	case "haswell16":
-		topo = topology.Haswell16()
-	case "sym8":
-		topo = topology.Symmetric(8)
-	default:
-		fatal(fmt.Errorf("unknown platform %q", *platform))
 	}
 	var kernel workloads.KernelKind
 	switch strings.ToLower(*kernelName) {
@@ -68,59 +56,64 @@ func main() {
 		fatal(fmt.Errorf("unknown kernel %q", *kernelName))
 	}
 
-	model := machine.New(topo)
-	switch *scenario {
+	var disturbances []scenario.Disturbance
+	switch *disturb {
 	case "none":
 	case "corun":
-		interfere.CoRunCPU(model, []int{0}, *share)
+		disturbances = []scenario.Disturbance{{Kind: scenario.CoRunCPU, Cores: []int{0}, Share: *share}}
 	case "memory":
-		interfere.CoRunMemory(model, 0, *share, 0.8)
+		disturbances = []scenario.Disturbance{{Kind: scenario.CoRunMemory, Cores: []int{0}, Share: *share, BWFactor: 0.8}}
 	case "dvfs":
-		interfere.PaperDVFS(model, 0)
+		disturbances = []scenario.Disturbance{scenario.PaperDVFS(0)}
+	case "burst":
+		disturbances = []scenario.Disturbance{{Kind: scenario.Burst, Cluster: 0, Share: *share, BusyDur: 1, IdleDur: 2, PhaseStep: 0.5}}
+	case "throttle":
+		disturbances = []scenario.Disturbance{{Kind: scenario.Throttle, Cluster: 0, From: 1, To: 4, Floor: 0.3, RampSteps: 6}}
 	default:
-		fatal(fmt.Errorf("unknown interference %q", *scenario))
+		fatal(fmt.Errorf("unknown interference %q", *disturb))
 	}
-
-	g := workloads.BuildSynthetic(workloads.SyntheticConfig{
-		Kernel:      kernel,
-		Tile:        *tile,
-		Tasks:       *tasks,
-		Parallelism: *parallelism,
-	})
-	fmt.Printf("platform: %s\n", topo)
-	fmt.Printf("policy %s, kernel %s, %d tasks, DAG parallelism %d, interference %s\n",
-		pol.Name(), kernel, *tasks, *parallelism, *scenario)
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.New()
 	}
-	rt, err := simrt.New(simrt.Config{Topo: topo, Model: model, Policy: pol, Seed: *seed, Alpha: *alpha, Trace: rec})
+	spec := scenario.Spec{
+		Name:     "dagsim",
+		Platform: scenario.PlatformSpec{Preset: *platform},
+		Workload: scenario.WorkloadSpec{Kind: scenario.Synthetic, Synthetic: workloads.SyntheticConfig{
+			Kernel:      kernel,
+			Tile:        *tile,
+			Tasks:       *tasks,
+			Parallelism: *parallelism,
+		}},
+		Disturb:  disturbances,
+		Policies: []core.Policy{pol},
+		Seed:     *seed,
+		Alpha:    *alpha,
+		Trace:    rec,
+	}
+	res, err := scenario.Run(spec)
 	if err != nil {
 		fatal(err)
 	}
-	coll, err := rt.Run(g)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("\nthroughput: %.0f tasks/s   makespan: %.3f s\n", coll.Throughput(), coll.Makespan())
+	run := res.Cells[0][0].Run()
+
+	fmt.Printf("platform: %s\n", res.Topo)
+	fmt.Printf("policy %s, kernel %s, %d tasks, DAG parallelism %d, interference %s\n",
+		pol.Name(), kernel, *tasks, *parallelism, *disturb)
+	fmt.Printf("\nthroughput: %.0f tasks/s   makespan: %.3f s\n", run.Throughput, run.Makespan)
 	fmt.Println("\nper-core kernel work time [s]:")
-	for c, b := range coll.CoreBusy() {
+	for c, b := range run.CoreBusy {
 		fmt.Printf("  core %-2d %8.3f\n", c, b)
 	}
 	fmt.Println("\npriority task placement:")
-	for i, ps := range coll.PlaceHistogram(true) {
+	for i, ps := range run.HighHist {
 		if i >= 10 || ps.Frac < 0.001 {
 			break
 		}
 		fmt.Printf("  %-8s %6.1f%%  (%d tasks)\n", ps.Place, ps.Frac*100, ps.Count)
 	}
-	stats := rt.CoreStats()
-	var steals int64
-	for _, s := range stats {
-		steals += s.Steals
-	}
-	fmt.Printf("\nsteals: %d\n", steals)
+	fmt.Printf("\nsteals: %d\n", run.Steals)
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -1,0 +1,3 @@
+module dynasym
+
+go 1.24

@@ -1,6 +1,11 @@
 package core
 
-import "dynasym/internal/topology"
+import (
+	"strconv"
+	"strings"
+
+	"dynasym/internal/topology"
+)
 
 // dheft implements a dynamic Heterogeneous-Earliest-Finish-Time baseline in
 // the spirit of Chronaki et al.'s dHEFT (used by the paper's related work
@@ -60,6 +65,18 @@ func DHEFT() Policy { return dheft{} }
 func extraByName(name string) (Policy, bool) {
 	if name == "dHEFT" {
 		return DHEFT(), true
+	}
+	// "<base>~<K>" selects the sampled O(K) search wrapper, e.g. "DAM-C~8".
+	if i := strings.LastIndex(name, "~"); i > 0 {
+		k, err := strconv.Atoi(name[i+1:])
+		if err != nil || k < 1 {
+			return nil, false
+		}
+		base, err := ByName(name[:i])
+		if err != nil {
+			return nil, false
+		}
+		return NewSampled(base, k), true
 	}
 	return nil, false
 }

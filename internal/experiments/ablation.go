@@ -5,16 +5,15 @@ import (
 	"io"
 
 	"dynasym/internal/core"
-	"dynasym/internal/interfere"
-	"dynasym/internal/simrt"
-	"dynasym/internal/topology"
+	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
 
 // Ablations beyond the paper: they isolate the contribution of individual
 // design decisions called out in DESIGN.md (wake-time routing, the
 // no-steal rule for critical tasks, the PTT weight, and the dHEFT
-// baseline).
+// baseline). Each is a spec table over the scenario engine, usually a
+// policy-set or platform variation of the Figure 4a/7 scenarios.
 
 // stealablePolicy wraps a policy and re-enables stealing of high-priority
 // tasks, ablating the paper's "disable stealing of high priority tasks"
@@ -79,42 +78,31 @@ func Ablation(cfg AblationConfig) (*ThroughputGrid, error) {
 
 // AblationAlpha sweeps the PTT weight under DVFS (complementing Figure 8's
 // co-run sweep): adaptation speed matters most when conditions flip every
-// five seconds.
+// five seconds. The sweep is the Figure 7 scenario with one point per
+// alpha.
 func AblationAlpha(cfg AblationConfig) *AlphaResult {
 	alphas := []float64{1.0 / 5, 2.0 / 5, 3.0 / 5, 4.0 / 5, 1.0}
-	res := &AlphaResult{Alphas: alphas}
+	spec := Fig7Config{
+		Kernel:   workloads.MatMul,
+		Policies: []core.Policy{core.DAMC()},
+		Seed:     cfg.Seed,
+		Scale:    cfg.Scale,
+	}.defaults().spec()
+	spec.Name = "ablation-alpha"
+	spec.Points = nil
 	for _, alpha := range alphas {
-		grid := fig7WithAlpha(cfg, alpha)
-		res.Tput = append(res.Tput, grid.Get("DAM-C", 4))
+		spec.Points = append(spec.Points, scenario.Point{
+			Label:       fmt.Sprintf("w%g", alpha),
+			Parallelism: 4,
+			Alpha:       alpha,
+		})
+	}
+	sres := scenario.MustRun(spec)
+	res := &AlphaResult{Alphas: alphas}
+	for xi := range spec.Points {
+		res.Tput = append(res.Tput, sres.Cells[0][xi].Run().Throughput)
 	}
 	return res
-}
-
-func fig7WithAlpha(cfg AblationConfig, alpha float64) *ThroughputGrid {
-	f := Fig7Config{
-		Kernel:       workloads.MatMul,
-		Parallelisms: []int{4},
-		Policies:     []core.Policy{core.DAMC()},
-		Seed:         cfg.Seed,
-		Scale:        cfg.Scale,
-	}.defaults()
-	grid := &ThroughputGrid{
-		Title:    "ablation-alpha",
-		XLabel:   "P",
-		X:        f.Parallelisms,
-		Policies: policyNames(f.Policies),
-		Tput:     make([][]float64, len(f.Policies)),
-	}
-	// Reuse Fig7 with a per-run alpha by inlining its loop.
-	wcfg := workloads.SyntheticConfig{Kernel: f.Kernel}.Defaults()
-	wcfg.Tasks = f.Scale.Apply(wcfg.Tasks, 600)
-	for i, pol := range f.Policies {
-		grid.Tput[i] = make([]float64, len(f.Parallelisms))
-		for j, par := range f.Parallelisms {
-			grid.Tput[i][j] = runDVFSOnce(f, wcfg, pol, par, alpha)
-		}
-	}
-	return grid
 }
 
 // AlphaResult holds the DVFS alpha sweep.
@@ -150,32 +138,19 @@ func AblationInfer(cfg AblationConfig) *ThroughputGrid {
 		Policies: []string{"user", "inferred", "none"},
 		Tput:     make([][]float64, 3),
 	}
-	wcfg := workloads.SyntheticConfig{Kernel: workloads.MatMul}.Defaults()
-	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
-	for row, variant := range []string{"user", "inferred", "none"} {
-		grid.Tput[row] = make([]float64, len(cfg.Parallelisms))
-		for j, par := range cfg.Parallelisms {
-			topo, model := newModelTX2()
-			interfere.CoRunCPU(model, []int{0}, 0.5)
-			wcfg.Parallelism = par
-			g := workloads.BuildSynthetic(wcfg)
-			switch variant {
-			case "inferred":
-				g.ClearPriorities()
-				g.InferCriticality(1.0, false)
-			case "none":
-				g.ClearPriorities()
-			}
-			rt, err := simrt.New(simCfg(topo, model, core.DAMC(), cfg.Seed, 0))
-			if err != nil {
-				panic(fmt.Sprintf("experiments: infer ablation: %v", err))
-			}
-			coll, err := rt.Run(g)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: infer ablation %s P=%d: %v", variant, par, err))
-			}
-			grid.Tput[row][j] = coll.Throughput()
-		}
+	variants := []string{scenario.CritUser, scenario.CritInferred, scenario.CritNone}
+	base := Fig4Config{
+		Kernel:       workloads.MatMul,
+		Parallelisms: cfg.Parallelisms,
+		Policies:     []core.Policy{core.DAMC()},
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+	}.defaults().spec()
+	for row, variant := range variants {
+		spec := base
+		spec.Name = "ablation-infer-" + grid.Policies[row]
+		spec.Workload.Criticality = variant
+		grid.Tput[row] = scenario.MustRun(spec).Throughputs()[0]
 	}
 	return grid
 }
@@ -191,27 +166,19 @@ func AblationWidth(cfg AblationConfig) *ThroughputGrid {
 		X:        []int{2, 3},
 		Policies: []string{"DA/w1", "DAM-P/w1", "DA", "DAM-P"},
 	}
-	narrow := topology.MustNew([]topology.Cluster{
-		func() topology.Cluster {
-			c := topology.TX2().Cluster(0)
-			c.Widths = []int{1}
-			return c
-		}(),
-		func() topology.Cluster {
-			c := topology.TX2().Cluster(1)
-			c.Widths = []int{1}
-			return c
-		}(),
-	})
-	full := topology.TX2()
-	for _, topoCase := range []*topology.Platform{narrow, full} {
-		for _, pol := range pols {
-			row := make([]float64, len(grid.X))
-			for j, par := range grid.X {
-				row[j] = runDVFSOnTopo(topoCase, cfg, pol, par)
-			}
-			grid.Tput = append(grid.Tput, row)
-		}
+	wcfg := workloads.SyntheticConfig{Kernel: workloads.Stencil}.Defaults()
+	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
+	for _, widthCap := range []int{1, 0} {
+		sres := scenario.MustRun(scenario.Spec{
+			Name:     fmt.Sprintf("ablation-width-cap%d", widthCap),
+			Platform: scenario.PlatformSpec{Preset: "tx2", WidthCap: widthCap},
+			Workload: scenario.WorkloadSpec{Kind: scenario.Synthetic, Synthetic: wcfg},
+			Disturb:  []scenario.Disturbance{scenario.PaperDVFS(0)},
+			Policies: pols,
+			Points:   scenario.ParallelismPoints(grid.X...),
+			Seed:     cfg.Seed + 7,
+		})
+		grid.Tput = append(grid.Tput, sres.Throughputs()...)
 	}
 	return grid
 }

@@ -1,8 +1,10 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 5). Each experiment is a pure function of its
-// configuration (including seeds) returning a typed result that can render
-// itself as an ASCII table; cmd/asymbench exposes them on the command line
-// and the repository's benchmarks wrap them with testing.B.
+// evaluation (Section 5). Each experiment is a thin spec table over the
+// declarative scenario engine (internal/scenario): the driver assembles a
+// scenario.Spec literal (platform, disturbances, workload, policy set,
+// sweep points), runs it, and reshapes the aggregated metrics into the
+// figure's result type. cmd/asymbench exposes the drivers on the command
+// line and the repository's benchmarks wrap them with testing.B.
 //
 // The experiment index lives in DESIGN.md §4; expected shapes (who wins,
 // by roughly what factor) are asserted by this package's tests and recorded
@@ -14,10 +16,7 @@ import (
 	"io"
 	"strings"
 
-	"dynasym/internal/core"
-	"dynasym/internal/machine"
-	"dynasym/internal/simrt"
-	"dynasym/internal/topology"
+	"dynasym/internal/scenario"
 )
 
 // Scale shrinks an experiment: 1.0 is paper scale, smaller values reduce
@@ -103,30 +102,16 @@ func (g *ThroughputGrid) Get(policy string, x int) float64 {
 	return g.Tput[pi][xi]
 }
 
-// newModelTX2 builds the TX2 platform and its machine model.
-func newModelTX2() (*topology.Platform, *machine.Model) {
-	topo := topology.TX2()
-	return topo, machine.New(topo)
-}
-
-// simCfg is the shared simulated-runtime configuration for experiments.
-func simCfg(topo *topology.Platform, model *machine.Model, pol core.Policy, seed uint64, alpha float64) simrt.Config {
-	return simrt.Config{
-		Topo:   topo,
-		Model:  model,
-		Policy: pol,
-		Alpha:  alpha,
-		Seed:   seed,
+// gridFrom reshapes a scenario result into a throughput grid whose x-axis
+// is the integer sweep the spec's points were built from.
+func gridFrom(res *scenario.Result, title, xlabel string, xs []int) *ThroughputGrid {
+	return &ThroughputGrid{
+		Title:    title,
+		XLabel:   xlabel,
+		X:        xs,
+		Policies: res.Policies,
+		Tput:     res.Throughputs(),
 	}
-}
-
-// policyNames extracts display names.
-func policyNames(pols []core.Policy) []string {
-	names := make([]string, len(pols))
-	for i, p := range pols {
-		names[i] = p.Name()
-	}
-	return names
 }
 
 // bar renders a quick proportional ASCII bar.

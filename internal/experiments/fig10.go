@@ -5,13 +5,7 @@ import (
 	"io"
 
 	"dynasym/internal/core"
-	"dynasym/internal/interfere"
-	"dynasym/internal/machine"
-	"dynasym/internal/metrics"
-	"dynasym/internal/sim"
-	"dynasym/internal/simnet"
-	"dynasym/internal/simrt"
-	"dynasym/internal/topology"
+	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
 
@@ -50,6 +44,26 @@ func (c Fig10Config) defaults() Fig10Config {
 	return c
 }
 
+// spec assembles the distributed scenario: one runtime per Haswell node on
+// a shared clock and interconnect, the interferer on five cores of node
+// 0's socket 0 from `warmup` seconds onward (0 = the whole run).
+func (c Fig10Config) spec(name string, hdCfg workloads.HeatDistConfig, pols []core.Policy, warmup float64) scenario.Spec {
+	disturb := scenario.Disturbance{Kind: scenario.CoRunCPU, Node: 0, Cores: []int{0, 1, 2, 3, 4}, Share: c.Share}
+	if warmup > 0 {
+		disturb.From, disturb.To = warmup, 1e18
+	}
+	return scenario.Spec{
+		Name:      name,
+		Platform:  scenario.PlatformSpec{Preset: "haswell-node"},
+		Workload:  scenario.WorkloadSpec{Kind: scenario.HeatDist, Heat: hdCfg},
+		Disturb:   []scenario.Disturbance{disturb},
+		Policies:  pols,
+		Seed:      c.Seed,
+		Latency:   c.Latency,
+		Bandwidth: c.Bandwidth,
+	}
+}
+
 // Fig10Result holds throughput per policy.
 type Fig10Result struct {
 	Policies []string
@@ -60,82 +74,32 @@ type Fig10Result struct {
 	Warmup float64
 }
 
-// Fig10 runs the distributed experiment: one simulated runtime per node
-// sharing a virtual clock and a simulated interconnect.
+// Fig10 runs the distributed experiment through the scenario engine.
 func Fig10(cfg Fig10Config) *Fig10Result {
 	cfg = cfg.defaults()
 	hdCfg := cfg.HD.Defaults()
 	if cfg.Scale > 0 && cfg.Scale < 1 {
 		hdCfg.Iters = cfg.Scale.Apply(hdCfg.Iters, 10)
 	}
-	// Calibrate the uninterfered iteration pace (DAM-C, a few iterations)
-	// so the co-runner can start after a training window, as in the paper
-	// ("the co-running application starts a few iterations after the
-	// start ensuring a reasonable window for training").
+	// Calibrate the iteration pace (DAM-C, a few iterations) so the
+	// co-runner can start after a training window, as in the paper ("the
+	// co-running application starts a few iterations after the start
+	// ensuring a reasonable window for training").
 	calibCfg := hdCfg
 	calibCfg.Iters = 10
-	_, calibSpan, _ := runFig10Once(cfg, calibCfg, core.DAMC(), 0)
-	iterTime := calibSpan / float64(calibCfg.Iters)
+	calib := scenario.MustRun(cfg.spec("fig10-calibration", calibCfg, []core.Policy{core.DAMC()}, 0))
+	iterTime := calib.Cells[0][0].Run().Makespan / float64(calibCfg.Iters)
 	warmup := 8 * iterTime
 
-	res := &Fig10Result{Policies: policyNames(cfg.Policies), Warmup: warmup}
-	for _, pol := range cfg.Policies {
-		tput, makespan, tasks := runFig10Once(cfg, hdCfg, pol, warmup)
-		res.Tput = append(res.Tput, tput)
-		res.Makespan = append(res.Makespan, makespan)
-		res.Tasks = tasks
+	sres := scenario.MustRun(cfg.spec("fig10", hdCfg, cfg.Policies, warmup))
+	res := &Fig10Result{Policies: sres.Policies, Warmup: warmup}
+	for pi := range sres.Policies {
+		run := sres.Cells[pi][0].Run()
+		res.Tput = append(res.Tput, run.Throughput)
+		res.Makespan = append(res.Makespan, run.Makespan)
+		res.Tasks = run.TasksDone
 	}
 	return res
-}
-
-// runFig10Once executes the 4-node simulation for one policy. The
-// interferer starts at `warmup` seconds (0 = from the beginning) and stays
-// for the rest of the run.
-func runFig10Once(cfg Fig10Config, hdCfg workloads.HeatDistConfig, pol core.Policy, warmup float64) (tput, makespan float64, tasks int64) {
-	engine := sim.New()
-	net := simnet.New(engine, cfg.Latency, cfg.Bandwidth)
-	hd := workloads.NewHeatDist(hdCfg)
-	runtimes := make([]*simrt.Runtime, hd.Nodes)
-	colls := make([]*metrics.Collector, hd.Nodes)
-	for node := 0; node < hd.Nodes; node++ {
-		topo := topology.HaswellNode(node)
-		model := machine.New(topo)
-		if node == 0 {
-			// Five cores of socket 0 run the interfering matmul kernel.
-			if warmup > 0 {
-				interfere.CoRunCPUEpisode(model, []int{0, 1, 2, 3, 4}, cfg.Share, warmup, 1e18)
-			} else {
-				interfere.CoRunCPU(model, []int{0, 1, 2, 3, 4}, cfg.Share)
-			}
-		}
-		rt, err := simrt.New(simrt.Config{
-			Topo:   topo,
-			Model:  model,
-			Policy: pol,
-			Seed:   cfg.Seed + uint64(node)*1009,
-			Engine: engine,
-			Hook:   hd.Hook(net),
-		})
-		if err != nil {
-			panic(fmt.Sprintf("experiments: fig10: %v", err))
-		}
-		if err := rt.Start(hd.BuildNode(node)); err != nil {
-			panic(fmt.Sprintf("experiments: fig10 start node %d: %v", node, err))
-		}
-		runtimes[node] = rt
-		colls[node] = rt.Collector()
-	}
-	engine.Run()
-	for node, rt := range runtimes {
-		if !rt.Finished() {
-			panic(fmt.Sprintf("experiments: fig10 %s: node %d stalled (pending msgs: %d)", pol.Name(), node, net.Pending()))
-		}
-		if rt.Makespan() > makespan {
-			makespan = rt.Makespan()
-		}
-		tasks += colls[node].TasksDone()
-	}
-	return float64(tasks) / makespan, makespan, tasks
 }
 
 // Render prints the per-policy throughput bars.

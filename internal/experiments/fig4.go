@@ -4,9 +4,7 @@ import (
 	"fmt"
 
 	"dynasym/internal/core"
-	"dynasym/internal/interfere"
-	"dynasym/internal/metrics"
-	"dynasym/internal/simrt"
+	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
 
@@ -48,46 +46,31 @@ func (c Fig4Config) defaults() Fig4Config {
 	return c
 }
 
+// spec assembles the declarative scenario: TX2, the kernel's co-runner on
+// core 0, a parallelism sweep. Figures 5 and 6 reuse it for their
+// single-point analyses.
+func (c Fig4Config) spec() scenario.Spec {
+	wcfg := workloads.SyntheticConfig{Kernel: c.Kernel}.Defaults()
+	wcfg.Tasks = c.Scale.Apply(wcfg.Tasks, 600)
+	disturb := scenario.Disturbance{Kind: scenario.CoRunCPU, Cores: []int{0}, Share: c.Share}
+	if c.Kernel == workloads.Copy {
+		disturb = scenario.Disturbance{Kind: scenario.CoRunMemory, Cores: []int{0}, Share: c.Share, BWFactor: c.BWFactor}
+	}
+	return scenario.Spec{
+		Name:     fmt.Sprintf("fig4-%s", c.Kernel),
+		Platform: scenario.PlatformSpec{Preset: "tx2"},
+		Workload: scenario.WorkloadSpec{Kind: scenario.Synthetic, Synthetic: wcfg},
+		Disturb:  []scenario.Disturbance{disturb},
+		Policies: c.Policies,
+		Points:   scenario.ParallelismPoints(c.Parallelisms...),
+		Seed:     c.Seed,
+	}
+}
+
 // Fig4 runs the experiment and returns the throughput grid.
 func Fig4(cfg Fig4Config) *ThroughputGrid {
 	cfg = cfg.defaults()
-	grid := &ThroughputGrid{
-		Title:    fmt.Sprintf("Figure 4 (%s): throughput under co-running interference on core 0", cfg.Kernel),
-		XLabel:   "P",
-		X:        cfg.Parallelisms,
-		Policies: policyNames(cfg.Policies),
-		Tput:     make([][]float64, len(cfg.Policies)),
-	}
-	wcfg := workloads.SyntheticConfig{Kernel: cfg.Kernel}.Defaults()
-	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
-	for i, pol := range cfg.Policies {
-		grid.Tput[i] = make([]float64, len(cfg.Parallelisms))
-		for j, par := range cfg.Parallelisms {
-			coll := runFig4Once(cfg, wcfg, pol, par)
-			grid.Tput[i][j] = coll.Throughput()
-		}
-	}
-	return grid
-}
-
-// runFig4Once executes one (policy, parallelism) cell and returns its
-// collector; Figures 5 and 6 reuse it for their single-cell analyses.
-func runFig4Once(cfg Fig4Config, wcfg workloads.SyntheticConfig, pol core.Policy, parallelism int) *metrics.Collector {
-	topo, model := newModelTX2()
-	if cfg.Kernel == workloads.Copy {
-		interfere.CoRunMemory(model, 0, cfg.Share, cfg.BWFactor)
-	} else {
-		interfere.CoRunCPU(model, []int{0}, cfg.Share)
-	}
-	wcfg.Parallelism = parallelism
-	g := workloads.BuildSynthetic(wcfg)
-	rt, err := simrt.New(simCfg(topo, model, pol, cfg.Seed, 0))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: fig4: %v", err))
-	}
-	coll, err := rt.Run(g)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: fig4 %s P=%d: %v", pol.Name(), parallelism, err))
-	}
-	return coll
+	res := scenario.MustRun(cfg.spec())
+	title := fmt.Sprintf("Figure 4 (%s): throughput under co-running interference on core 0", cfg.Kernel)
+	return gridFrom(res, title, "P", cfg.Parallelisms)
 }

@@ -6,6 +6,7 @@ import (
 
 	"dynasym/internal/core"
 	"dynasym/internal/metrics"
+	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
 
@@ -44,19 +45,26 @@ type Fig5Result struct {
 	Cores    int
 }
 
-// Fig5 runs the experiment.
+// Fig5 runs the experiment: the Figure 4a scenario restricted to P=2, read
+// out as place histograms and per-core work times instead of throughput.
 func Fig5(cfg Fig5Config) *Fig5Result {
 	cfg = cfg.defaults()
-	f4 := Fig4Config{Kernel: workloads.MatMul, Seed: cfg.Seed, Share: cfg.Share, Scale: cfg.Scale}.defaults()
-	wcfg := workloads.SyntheticConfig{Kernel: workloads.MatMul}.Defaults()
-	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
-	res := &Fig5Result{Policies: policyNames(cfg.Policies)}
-	for _, pol := range cfg.Policies {
-		coll := runFig4Once(f4, wcfg, pol, 2)
-		res.Hists = append(res.Hists, coll.PlaceHistogram(true))
-		res.CoreBusy = append(res.CoreBusy, coll.CoreBusy())
-		res.Makespan = append(res.Makespan, coll.Makespan())
-		res.Cores = len(coll.CoreBusy())
+	spec := Fig4Config{
+		Kernel:       workloads.MatMul,
+		Parallelisms: []int{2},
+		Policies:     cfg.Policies,
+		Seed:         cfg.Seed,
+		Share:        cfg.Share,
+		Scale:        cfg.Scale,
+	}.defaults().spec()
+	spec.Name = "fig5"
+	sres := scenario.MustRun(spec)
+	res := &Fig5Result{Policies: sres.Policies, Cores: sres.Topo.NumCores()}
+	for pi := range sres.Policies {
+		run := sres.Cells[pi][0].Run()
+		res.Hists = append(res.Hists, run.HighHist)
+		res.CoreBusy = append(res.CoreBusy, run.CoreBusy)
+		res.Makespan = append(res.Makespan, run.Makespan)
 	}
 	return res
 }

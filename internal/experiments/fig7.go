@@ -5,9 +5,7 @@ import (
 
 	"dynasym/internal/core"
 	"dynasym/internal/interfere"
-	"dynasym/internal/machine"
-	"dynasym/internal/simrt"
-	"dynasym/internal/topology"
+	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
 
@@ -37,74 +35,45 @@ func (c Fig7Config) defaults() Fig7Config {
 		c.Seed = 42
 	}
 	if c.HiHz == 0 {
-		c.HiHz = 2035e6
+		c.HiHz = interfere.PaperHiHz
 	}
 	if c.LoHz == 0 {
-		c.LoHz = 345e6
+		c.LoHz = interfere.PaperLoHz
 	}
 	if c.HiDur == 0 {
-		c.HiDur = 5
+		c.HiDur = interfere.PaperHiDur
 	}
 	if c.LoDur == 0 {
-		c.LoDur = 5
+		c.LoDur = interfere.PaperLoDur
 	}
 	return c
+}
+
+// spec assembles the declarative scenario: TX2 with a DVFS square wave on
+// the victim cluster, swept over parallelism.
+func (c Fig7Config) spec() scenario.Spec {
+	wcfg := workloads.SyntheticConfig{Kernel: c.Kernel}.Defaults()
+	wcfg.Tasks = c.Scale.Apply(wcfg.Tasks, 600)
+	return scenario.Spec{
+		Name:     fmt.Sprintf("fig7-%s", c.Kernel),
+		Platform: scenario.PlatformSpec{Preset: "tx2"},
+		Workload: scenario.WorkloadSpec{Kind: scenario.Synthetic, Synthetic: wcfg},
+		Disturb: []scenario.Disturbance{{
+			Kind:    scenario.DVFS,
+			Cluster: c.VictimCluster,
+			HiHz:    c.HiHz, LoHz: c.LoHz,
+			HiDur: c.HiDur, LoDur: c.LoDur,
+		}},
+		Policies: c.Policies,
+		Points:   scenario.ParallelismPoints(c.Parallelisms...),
+		Seed:     c.Seed,
+	}
 }
 
 // Fig7 runs the DVFS experiment and returns the throughput grid.
 func Fig7(cfg Fig7Config) *ThroughputGrid {
 	cfg = cfg.defaults()
-	grid := &ThroughputGrid{
-		Title:    fmt.Sprintf("Figure 7 (%s): throughput under DVFS on the Denver cluster", cfg.Kernel),
-		XLabel:   "P",
-		X:        cfg.Parallelisms,
-		Policies: policyNames(cfg.Policies),
-		Tput:     make([][]float64, len(cfg.Policies)),
-	}
-	wcfg := workloads.SyntheticConfig{Kernel: cfg.Kernel}.Defaults()
-	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
-	for i, pol := range cfg.Policies {
-		grid.Tput[i] = make([]float64, len(cfg.Parallelisms))
-		for j, par := range cfg.Parallelisms {
-			grid.Tput[i][j] = runDVFSOnce(cfg, wcfg, pol, par, 0)
-		}
-	}
-	return grid
-}
-
-// runDVFSOnce executes one DVFS cell with an optional PTT alpha override.
-func runDVFSOnce(cfg Fig7Config, wcfg workloads.SyntheticConfig, pol core.Policy, parallelism int, alpha float64) float64 {
-	topo, model := newModelTX2()
-	interfere.DVFS(model, cfg.VictimCluster, cfg.HiHz, cfg.LoHz, cfg.HiDur, cfg.LoDur)
-	wcfg.Parallelism = parallelism
-	g := workloads.BuildSynthetic(wcfg)
-	rt, err := simrt.New(simCfg(topo, model, pol, cfg.Seed, alpha))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: fig7: %v", err))
-	}
-	coll, err := rt.Run(g)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: fig7 %s P=%d: %v", pol.Name(), parallelism, err))
-	}
-	return coll.Throughput()
-}
-
-// runDVFSOnTopo runs the Stencil DVFS scenario on an arbitrary platform
-// (used by the width ablation).
-func runDVFSOnTopo(topo *topology.Platform, cfg AblationConfig, pol core.Policy, parallelism int) float64 {
-	model := machine.New(topo)
-	interfere.PaperDVFS(model, 0)
-	wcfg := workloads.SyntheticConfig{Kernel: workloads.Stencil}.Defaults()
-	wcfg.Tasks = cfg.Scale.Apply(wcfg.Tasks, 600)
-	wcfg.Parallelism = parallelism
-	g := workloads.BuildSynthetic(wcfg)
-	rt, err := simrt.New(simCfg(topo, model, pol, cfg.Seed+7, 0))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: width ablation: %v", err))
-	}
-	coll, err := rt.Run(g)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: width ablation %s P=%d: %v", pol.Name(), parallelism, err))
-	}
-	return coll.Throughput()
+	res := scenario.MustRun(cfg.spec())
+	title := fmt.Sprintf("Figure 7 (%s): throughput under DVFS on the Denver cluster", cfg.Kernel)
+	return gridFrom(res, title, "P", cfg.Parallelisms)
 }

@@ -5,8 +5,7 @@ import (
 	"io"
 
 	"dynasym/internal/core"
-	"dynasym/internal/interfere"
-	"dynasym/internal/simrt"
+	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
 
@@ -60,31 +59,35 @@ type Fig8Result struct {
 	Tput [][]float64
 }
 
-// Fig8 runs the sensitivity sweep.
+// Fig8 runs the sensitivity sweep: one scenario whose points are the full
+// tile × alpha cross product.
 func Fig8(cfg Fig8Config) *Fig8Result {
 	cfg = cfg.defaults()
+	label := func(tile int, alpha float64) string { return fmt.Sprintf("t%d/w%g", tile, alpha) }
+	var points []scenario.Point
+	for _, tile := range cfg.Tiles {
+		for _, alpha := range cfg.Alphas {
+			points = append(points, scenario.Point{Label: label(tile, alpha), Tile: tile, Alpha: alpha})
+		}
+	}
+	sres := scenario.MustRun(scenario.Spec{
+		Name:     "fig8",
+		Platform: scenario.PlatformSpec{Preset: "tx2"},
+		Workload: scenario.WorkloadSpec{Kind: scenario.Synthetic, Synthetic: workloads.SyntheticConfig{
+			Kernel:      workloads.MatMul,
+			Tasks:       cfg.Scale.Apply(32000, 600),
+			Parallelism: cfg.Parallel,
+		}},
+		Disturb:  []scenario.Disturbance{{Kind: scenario.CoRunCPU, Cores: []int{0}, Share: cfg.Share}},
+		Policies: []core.Policy{cfg.Policy},
+		Points:   points,
+		Seed:     cfg.Seed,
+	})
 	res := &Fig8Result{Tiles: cfg.Tiles, Alphas: cfg.Alphas, Tput: make([][]float64, len(cfg.Tiles))}
 	for i, tile := range cfg.Tiles {
 		res.Tput[i] = make([]float64, len(cfg.Alphas))
 		for j, alpha := range cfg.Alphas {
-			topo, model := newModelTX2()
-			interfere.CoRunCPU(model, []int{0}, cfg.Share)
-			wcfg := workloads.SyntheticConfig{
-				Kernel:      workloads.MatMul,
-				Tile:        tile,
-				Tasks:       cfg.Scale.Apply(32000, 600),
-				Parallelism: cfg.Parallel,
-			}
-			g := workloads.BuildSynthetic(wcfg)
-			rt, err := simrt.New(simCfg(topo, model, cfg.Policy, cfg.Seed, alpha))
-			if err != nil {
-				panic(fmt.Sprintf("experiments: fig8: %v", err))
-			}
-			coll, err := rt.Run(g)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: fig8 tile=%d alpha=%.2f: %v", tile, alpha, err))
-			}
-			res.Tput[i][j] = coll.Throughput()
+			res.Tput[i][j] = sres.Cell(cfg.Policy.Name(), label(tile, alpha)).Run().Throughput
 		}
 	}
 	return res

@@ -6,10 +6,8 @@ import (
 	"sort"
 
 	"dynasym/internal/core"
-	"dynasym/internal/interfere"
-	"dynasym/internal/machine"
 	"dynasym/internal/metrics"
-	"dynasym/internal/simrt"
+	"dynasym/internal/scenario"
 	"dynasym/internal/topology"
 	"dynasym/internal/workloads"
 )
@@ -64,6 +62,19 @@ type Fig9Result struct {
 	AvgIter float64
 }
 
+// kmeansSpec assembles the Haswell16 K-means scenario, optionally with the
+// socket-0 co-runner active during [from, to) seconds of virtual time.
+func kmeansSpec(name string, kmCfg workloads.KMeansConfig, pols []core.Policy, seed uint64, disturb []scenario.Disturbance) scenario.Spec {
+	return scenario.Spec{
+		Name:     name,
+		Platform: scenario.PlatformSpec{Preset: "haswell16"},
+		Workload: scenario.WorkloadSpec{Kind: scenario.KMeans, KMeans: kmCfg},
+		Disturb:  disturb,
+		Policies: pols,
+		Seed:     seed,
+	}
+}
+
 // Fig9 runs the experiment. The interference window is positioned in time
 // by first calibrating the uninterfered iteration duration with DAM-C.
 func Fig9(cfg Fig9Config) *Fig9Result {
@@ -77,8 +88,8 @@ func Fig9(cfg Fig9Config) *Fig9Result {
 	}
 
 	// Calibration run: DAM-C, no interference.
-	calib := runKMeansOnce(kmCfg, core.DAMC(), cfg.Seed, nil)
-	stats := calib.IterStats()
+	calib := scenario.MustRun(kmeansSpec("fig9-calibration", kmCfg, []core.Policy{core.DAMC()}, cfg.Seed, nil))
+	stats := calib.Cells[0][0].Run().Iters
 	total := 0.0
 	for _, st := range stats {
 		total += st.End - st.Start
@@ -90,35 +101,21 @@ func Fig9(cfg Fig9Config) *Fig9Result {
 		WindowTime:  [2]float64{float64(cfg.From) * avgIter, float64(cfg.To) * avgIter},
 		AvgIter:     avgIter,
 	}
-	for _, pol := range cfg.Policies {
-		coll := runKMeansOnce(kmCfg, pol, cfg.Seed, func(m *machine.Model, topo *topology.Platform) {
-			interfere.CoRunCPUEpisode(m, topo.CoresOf(0), cfg.Share, res.WindowTime[0], res.WindowTime[1])
-		})
-		res.Policies = append(res.Policies, pol.Name())
-		res.Stats = append(res.Stats, coll.IterStats())
-		res.Topo = coll.Platform()
+	// Main runs: the co-runner occupies all of socket 0 (cluster 0)
+	// during the calibrated window.
+	sres := scenario.MustRun(kmeansSpec("fig9", kmCfg, cfg.Policies, cfg.Seed, []scenario.Disturbance{{
+		Kind:    scenario.CoRunCPU,
+		Cluster: 0,
+		Share:   cfg.Share,
+		From:    res.WindowTime[0],
+		To:      res.WindowTime[1],
+	}}))
+	res.Topo = sres.Topo
+	res.Policies = sres.Policies
+	for pi := range sres.Policies {
+		res.Stats = append(res.Stats, sres.Cells[pi][0].Run().Iters)
 	}
 	return res
-}
-
-// runKMeansOnce executes one K-means run on a fresh Haswell16 platform.
-func runKMeansOnce(kmCfg workloads.KMeansConfig, pol core.Policy, seed uint64, disturb func(*machine.Model, *topology.Platform)) *metrics.Collector {
-	topo := topology.Haswell16()
-	model := machine.New(topo)
-	if disturb != nil {
-		disturb(model, topo)
-	}
-	km := workloads.NewKMeans(kmCfg)
-	g := km.Build()
-	rt, err := simrt.New(simCfg(topo, model, pol, seed, 0))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: fig9: %v", err))
-	}
-	coll, err := rt.Run(g)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: fig9 %s: %v", pol.Name(), err))
-	}
-	return coll
 }
 
 // policyIndex returns the row for a policy name, or -1.

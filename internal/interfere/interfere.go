@@ -54,10 +54,55 @@ func DVFS(m *machine.Model, cluster int, hiHz, loHz, hiDur, loDur float64) {
 	m.SetClusterFreq(cluster, profile.SquareWave(hiHz, loHz, hiDur, loDur))
 }
 
+// The exact DVFS wave parameters from the paper's Section 5.2: the Denver
+// cluster alternates between its frequency extremes every five seconds.
+const (
+	PaperHiHz  = 2035e6
+	PaperLoHz  = 345e6
+	PaperHiDur = 5.0
+	PaperLoDur = 5.0
+)
+
 // PaperDVFS applies the exact DVFS parameters from the paper's Section 5.2
 // to the given cluster.
 func PaperDVFS(m *machine.Model, cluster int) {
-	DVFS(m, cluster, 2035e6, 345e6, 5, 5)
+	DVFS(m, cluster, PaperHiHz, PaperLoHz, PaperHiDur, PaperLoDur)
+}
+
+// BurstCPU models intermittent bursty co-runners on the victim cores: on
+// each core the interferer is active for busyDur seconds (leaving `share`
+// of the core to the runtime) and sleeps for idleDur seconds, repeating
+// forever. Successive cores' waves are shifted by phaseStep seconds
+// starting from phase0, so the bursts sweep across the victim set instead
+// of firing in lock-step — the hardest case for a scheduler that has just
+// learned where the quiet cores are.
+func BurstCPU(m *machine.Model, cores []int, share, busyDur, idleDur, phase0, phaseStep float64) {
+	for i, c := range cores {
+		phase := phase0 + float64(i)*phaseStep
+		m.SetCoreAvail(c, profile.PhasedSquareWave(share, 1.0, busyDur, idleDur, phase))
+	}
+}
+
+// ThrottleRamp models a thermal throttle of a cluster: the clock steps down
+// from the cluster's base frequency to floor×base over [from, to) in
+// `steps` equal plateaus and stays at the floor afterwards (heat soak, no
+// recovery). Unlike the DVFS square wave the degradation is gradual and
+// permanent, so schedulers must keep re-learning a moving target.
+func ThrottleRamp(m *machine.Model, cluster int, from, to, floor float64, steps int) {
+	base := m.Platform().Cluster(cluster).BaseHz
+	if steps < 1 {
+		steps = 1
+	}
+	var segs []profile.Segment
+	if from > 0 {
+		segs = append(segs, profile.Segment{Start: 0, Value: base})
+	}
+	for k := 0; k < steps; k++ {
+		start := from + (to-from)*float64(k)/float64(steps)
+		value := base * (1 - (1-floor)*float64(k+1)/float64(steps))
+		segs = append(segs, profile.Segment{Start: start, Value: value})
+	}
+	m.SetClusterFreq(cluster, profile.MustSteps(segs...))
 }
 
 // Stall models a transient full stall of a core (failure injection beyond

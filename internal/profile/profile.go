@@ -80,6 +80,59 @@ func SquareWave(hi, lo, hiDur, loDur float64) *Profile {
 	}
 }
 
+// PhasedSquareWave is SquareWave shifted left by phase seconds: the wave's
+// value at t is the unshifted wave's value at t+phase. It models bursty
+// interferers whose activity windows are staggered across cores instead of
+// firing in lock-step.
+func PhasedSquareWave(hi, lo, hiDur, loDur, phase float64) *Profile {
+	if hiDur <= 0 || loDur <= 0 {
+		panic("profile: PhasedSquareWave durations must be positive")
+	}
+	period := hiDur + loDur
+	phase = math.Mod(phase, period)
+	if phase < 0 {
+		phase += period
+	}
+	if phase == 0 {
+		return SquareWave(hi, lo, hiDur, loDur)
+	}
+	val := func(t float64) float64 {
+		s := math.Mod(t+phase, period)
+		if s < hiDur {
+			return hi
+		}
+		return lo
+	}
+	// The shifted wave has at most two value changes per period: where the
+	// unshifted wave wraps to hi and where it drops to lo. Each segment's
+	// value is sampled at its midpoint — sampling at the boundary itself
+	// is unreliable, since rounding in the boundary computation can land
+	// a hair before the transition.
+	bounds := []float64{0,
+		math.Mod(period-phase, period),
+		math.Mod(hiDur-phase+period, period),
+		period,
+	}
+	sort.Float64s(bounds)
+	var segs []Segment
+	for i := 0; i+1 < len(bounds); i++ {
+		lo2, hi2 := bounds[i], bounds[i+1]
+		if hi2 <= lo2 {
+			continue
+		}
+		v := val((lo2 + hi2) / 2)
+		if len(segs) > 0 && segs[len(segs)-1].Value == v {
+			continue
+		}
+		segs = append(segs, Segment{Start: lo2, Value: v})
+	}
+	if len(segs) == 1 {
+		// Degenerate phases collapse the wave to a constant.
+		return Constant(segs[0].Value)
+	}
+	return &Profile{segs: segs, period: period}
+}
+
 // Episode returns a profile that is `base` everywhere except [from, to),
 // where it is `during`. It models a bounded interference episode such as a
 // co-runner active during part of the run.
@@ -112,20 +165,47 @@ func (p *Profile) NextChange(t float64) float64 {
 		t = 0
 	}
 	if p.period > 0 {
-		base := math.Floor(t/p.period) * p.period
-		local := t - base
-		for _, s := range p.segs {
-			if s.Start > local {
-				return base + s.Start
-			}
+		if math.IsInf(t, 1) {
+			return math.Inf(1)
 		}
-		return base + p.period
+		// Rounding in floor() or in base+Start can produce a candidate at
+		// or before t (e.g. when t sits exactly on a period boundary);
+		// returning it would stall integration loops that rely on strictly
+		// increasing change points. Scan forward until a candidate clears t.
+		base := math.Floor(t/p.period) * p.period
+		for {
+			for _, s := range p.segs {
+				if c := base + s.Start; c > t {
+					return c
+				}
+			}
+			next := base + p.period
+			if next == base {
+				// t is so large that one period is below its ulp: no
+				// representable change point remains.
+				return math.Inf(1)
+			}
+			base = next
+		}
 	}
 	i := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].Start > t })
 	if i == len(p.segs) {
 		return math.Inf(1)
 	}
 	return p.segs[i].Start
+}
+
+// rateOver returns the profile's value on the change-free interval
+// [t, next). It samples the midpoint rather than the left edge: for
+// periodic profiles, At(t) exactly at a boundary returned by NextChange
+// can land one ulp on the wrong side of the corresponding segment start
+// (the modulo and the base+Start arithmetic round differently), and that
+// misclassification accumulates into a real bias over many periods.
+func (p *Profile) rateOver(t, next float64) float64 {
+	if math.IsInf(next, 1) {
+		return p.At(t)
+	}
+	return p.At(t + (next-t)/2)
 }
 
 // Integrate returns the integral of the profile over [from, to].
@@ -140,7 +220,7 @@ func (p *Profile) Integrate(from, to float64) float64 {
 		if next > to {
 			next = to
 		}
-		total += p.At(t) * (next - t)
+		total += p.rateOver(t, next) * (next - t)
 		t = next
 	}
 	return total
@@ -157,8 +237,8 @@ func (p *Profile) TimeToDo(start, work float64) float64 {
 	t := start
 	remaining := work
 	for {
-		rate := p.At(t)
 		next := p.NextChange(t)
+		rate := p.rateOver(t, next)
 		if math.IsInf(next, 1) {
 			if rate <= 0 {
 				return math.Inf(1)

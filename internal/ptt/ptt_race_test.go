@@ -1,0 +1,109 @@
+package ptt
+
+import (
+	"sync"
+	"testing"
+
+	"dynasym/internal/topology"
+)
+
+// The real runtime updates one Table from every worker concurrently while
+// schedulers read it. These tests exercise exactly that under -race and
+// check the lock-free update's invariants: no observation is lost from the
+// counters, and the weighted average stays within the observed range.
+func TestTableConcurrentUpdateRead(t *testing.T) {
+	topo := topology.TX2()
+	tbl := NewTable(topo, 0)
+	places := topo.Places()
+	const writers = 8
+	const perWriter = 2000
+	lo, hi := 1e-3, 2e-3
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	// Concurrent readers: values must always be 0 (unmeasured) or within
+	// the observed bounds, never torn.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, pl := range places {
+					v := tbl.Value(pl)
+					if v != 0 && (v < lo || v > hi) {
+						t.Errorf("torn or out-of-range read: %v", v)
+						return
+					}
+				}
+				_ = tbl.Snapshot()
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				pl := places[(w+i)%len(places)]
+				// Alternate the extremes so averages move but stay bounded.
+				obs := lo
+				if i%2 == 0 {
+					obs = hi
+				}
+				tbl.Update(pl, obs)
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	var total uint64
+	for _, pl := range places {
+		total += tbl.Count(pl)
+	}
+	if total != writers*perWriter {
+		t.Fatalf("lost updates: %d counted, want %d", total, writers*perWriter)
+	}
+	for _, pl := range places {
+		if v := tbl.Value(pl); v < lo || v > hi {
+			t.Errorf("place %v final value %v outside [%v, %v]", pl, v, lo, hi)
+		}
+	}
+}
+
+// Concurrent Get-then-Update through the registry must land every update
+// on one shared table (racing Gets must not strand updates on orphaned
+// tables).
+func TestRegistryConcurrentGetUpdate(t *testing.T) {
+	topo := topology.TX2()
+	reg := NewRegistry(topo, 0)
+	const goroutines = 16
+	tables := make([]*Table, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tables[i] = reg.Get(TypeID(7))
+			tables[i].Update(topo.Places()[0], 1e-3)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if tables[i] != tables[0] {
+			t.Fatalf("Registry.Get returned distinct tables for one TypeID")
+		}
+	}
+	if got := tables[0].Count(topo.Places()[0]); got != goroutines {
+		t.Fatalf("counted %d updates, want %d", got, goroutines)
+	}
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"testing"
+
+	"dynasym/internal/core"
+	"dynasym/internal/workloads"
+)
+
+// Same scenario + same seed must produce byte-identical aggregated metrics
+// across two independent runs, for every policy of Table 1, with the worker
+// pool fully engaged and a time-varying disturbance active. This is the
+// regression gate for the engine's determinism contract.
+func TestDeterminismAllTable1Policies(t *testing.T) {
+	for _, pol := range core.All() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			t.Parallel()
+			s := Spec{
+				Name:     "determinism-" + pol.Name(),
+				Platform: PlatformSpec{Preset: "tx2"},
+				Workload: WorkloadSpec{Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+					Kernel: workloads.MatMul,
+					Tasks:  600,
+				}},
+				Disturb: []Disturbance{
+					{Kind: Burst, Cluster: 1, Share: 0.4, BusyDur: 0.1, IdleDur: 0.2, PhaseStep: 0.05},
+				},
+				Policies: []core.Policy{pol},
+				Points:   ParallelismPoints(2, 4),
+				Reps:     2,
+				Seed:     42,
+			}
+			a, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa, fb := a.Fingerprint(), b.Fingerprint()
+			if fa != fb {
+				t.Fatalf("two runs of the same spec diverged:\n--- first\n%s\n--- second\n%s", fa, fb)
+			}
+			if len(fa) == 0 {
+				t.Fatalf("empty fingerprint")
+			}
+		})
+	}
+}
+
+// Different seeds must actually change the outcome (otherwise the
+// determinism test above could pass vacuously on constant output).
+func TestSeedChangesOutcome(t *testing.T) {
+	mk := func(seed uint64) string {
+		s := Spec{
+			Name:     "seed-check",
+			Platform: PlatformSpec{Preset: "tx2"},
+			Workload: WorkloadSpec{Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+				Kernel: workloads.MatMul,
+				Tasks:  600,
+			}},
+			Policies: []core.Policy{core.RWS()},
+			Points:   ParallelismPoints(4),
+			Seed:     seed,
+		}
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Fingerprint()
+	}
+	if mk(1) == mk(2) {
+		t.Fatalf("seeds 1 and 2 produced identical fingerprints")
+	}
+}
+
+// The distributed heat scenario must be deterministic too: it exercises
+// the shared-engine, multi-runtime path.
+func TestDeterminismDistributed(t *testing.T) {
+	s := Spec{
+		Name:     "determinism-heat",
+		Platform: PlatformSpec{Preset: "haswell-node"},
+		Workload: WorkloadSpec{Kind: HeatDist, Heat: workloads.HeatDistConfig{Nodes: 2, Iters: 6, BlocksPerNode: 20}},
+		Disturb:  []Disturbance{{Kind: CoRunCPU, Cores: []int{0, 1, 2}, Share: 0.4}},
+		Policies: []core.Policy{core.DAMP()},
+		Seed:     7,
+	}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("distributed runs diverged")
+	}
+}

@@ -1,0 +1,306 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynasym/internal/core"
+	"dynasym/internal/dag"
+	"dynasym/internal/interfere"
+	"dynasym/internal/machine"
+	"dynasym/internal/metrics"
+	"dynasym/internal/sim"
+	"dynasym/internal/simnet"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
+	"dynasym/internal/workloads"
+)
+
+// repSeedStride separates repetition seeds; repetition 0 runs with the
+// spec's base seed, so a single-rep scenario reproduces a standalone run.
+const repSeedStride = 1_000_003
+
+// nodeSeedStride separates per-node runtime seeds in distributed cells
+// (matching the paper-reproduction drivers, so refactoring them onto the
+// engine changed no numbers).
+const nodeSeedStride = 1009
+
+// Run validates the spec and executes the full (policy × point × rep) grid
+// on a bounded worker pool. Every cell runs on private state seeded only by
+// the spec, so the result is deterministic regardless of pool interleaving.
+func Run(s Spec) (*Result, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := s.Platform.Build()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:     s.Name,
+		Topo:     topo,
+		Policies: make([]string, len(s.Policies)),
+		Points:   append([]Point(nil), s.Points...),
+		Cells:    make([][]Cell, len(s.Policies)),
+	}
+	for pi, pol := range s.Policies {
+		res.Policies[pi] = pol.Name()
+		res.Cells[pi] = make([]Cell, len(s.Points))
+		for xi, pt := range s.Points {
+			res.Cells[pi][xi] = Cell{Policy: pol.Name(), Point: pt, Runs: make([]RunMetrics, s.Reps)}
+		}
+	}
+
+	type job struct{ pi, xi, rep int }
+	jobs := make([]job, 0, len(s.Policies)*len(s.Points)*s.Reps)
+	for pi := range s.Policies {
+		for xi := range s.Points {
+			for rep := 0; rep < s.Reps; rep++ {
+				jobs = append(jobs, job{pi, xi, rep})
+			}
+		}
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range ch {
+				j := jobs[ji]
+				seed := s.Seed + uint64(j.rep)*repSeedStride
+				rm, err := runCell(s, s.Policies[j.pi], s.Points[j.xi], seed)
+				if err != nil {
+					errs[ji] = fmt.Errorf("scenario %q: %s at %s (rep %d): %w",
+						s.Name, res.Policies[j.pi], s.Points[j.xi].Label, j.rep, err)
+					continue
+				}
+				rm.Seed = seed
+				res.Cells[j.pi][j.xi].Runs[j.rep] = rm
+			}
+		}()
+	}
+	for ji := range jobs {
+		ch <- ji
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run but panics on error; intended for spec tables whose specs
+// are static literals already covered by tests.
+func MustRun(s Spec) *Result {
+	res, err := Run(s)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// runCell executes one repetition of one cell.
+func runCell(s Spec, pol core.Policy, pt Point, seed uint64) (RunMetrics, error) {
+	if s.Workload.Kind == HeatDist {
+		return runDistCell(s, pol, pt, seed)
+	}
+	topo, err := s.Platform.Build()
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	model := machine.New(topo)
+	for _, d := range s.Disturb {
+		d.apply(model)
+	}
+	g, err := buildGraph(s.Workload, pt)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	rt, err := simrt.New(simrt.Config{
+		Topo:   topo,
+		Model:  model,
+		Policy: pol,
+		Alpha:  cellAlpha(s, pt),
+		Seed:   seed,
+		Trace:  s.Trace,
+	})
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	coll, err := rt.Run(g)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	rm := collectRun(coll, rt)
+	return rm, nil
+}
+
+// runDistCell executes one distributed heat repetition: one runtime per
+// node sharing a virtual clock and a simulated interconnect.
+func runDistCell(s Spec, pol core.Policy, pt Point, seed uint64) (RunMetrics, error) {
+	engine := sim.New()
+	net := simnet.New(engine, s.Latency, s.Bandwidth)
+	hd := workloads.NewHeatDist(s.Workload.Heat)
+	runtimes := make([]*simrt.Runtime, hd.Nodes)
+	for node := 0; node < hd.Nodes; node++ {
+		topo, err := nodePlatform(s, node)
+		if err != nil {
+			return RunMetrics{}, err
+		}
+		model := machine.New(topo)
+		for _, d := range s.Disturb {
+			if d.Node == node {
+				d.apply(model)
+			}
+		}
+		rt, err := simrt.New(simrt.Config{
+			Topo:   topo,
+			Model:  model,
+			Policy: pol,
+			Alpha:  cellAlpha(s, pt),
+			Seed:   seed + uint64(node)*nodeSeedStride,
+			Engine: engine,
+			Hook:   hd.Hook(net),
+		})
+		if err != nil {
+			return RunMetrics{}, err
+		}
+		if err := rt.Start(hd.BuildNode(node)); err != nil {
+			return RunMetrics{}, fmt.Errorf("start node %d: %w", node, err)
+		}
+		runtimes[node] = rt
+	}
+	engine.Run()
+	var rm RunMetrics
+	hists := make([][]metrics.PlaceShare, 0, hd.Nodes)
+	for node, rt := range runtimes {
+		if !rt.Finished() {
+			return RunMetrics{}, fmt.Errorf("node %d stalled (pending msgs: %d)", node, net.Pending())
+		}
+		part := collectRun(rt.Collector(), rt)
+		if part.Makespan > rm.Makespan {
+			rm.Makespan = part.Makespan
+		}
+		rm.TasksDone += part.TasksDone
+		rm.CoreBusy = append(rm.CoreBusy, part.CoreBusy...)
+		rm.Steals += part.Steals
+		rm.FailedSteals += part.FailedSteals
+		rm.Dispatches += part.Dispatches
+		hists = append(hists, part.HighHist)
+	}
+	rm.HighHist = mergeHists(hists...)
+	if rm.Makespan > 0 {
+		rm.Throughput = float64(rm.TasksDone) / rm.Makespan
+	}
+	return rm, nil
+}
+
+// nodePlatform builds the platform for one distributed node. The
+// "haswell-node" preset tags each node's clusters with its node id, like
+// the paper's four-node cluster; any other platform is replicated as-is.
+func nodePlatform(s Spec, node int) (*topology.Platform, error) {
+	if s.Platform.Preset == "haswell-node" && len(s.Platform.Clusters) == 0 && s.Platform.WidthCap == 0 {
+		return topology.HaswellNode(node), nil
+	}
+	return s.Platform.Build()
+}
+
+// cellAlpha resolves the PTT weight for a point.
+func cellAlpha(s Spec, pt Point) float64 {
+	if pt.Alpha > 0 {
+		return pt.Alpha
+	}
+	return s.Alpha
+}
+
+// buildGraph constructs the task graph for a single-runtime cell.
+func buildGraph(w WorkloadSpec, pt Point) (*dag.Graph, error) {
+	switch w.Kind {
+	case Synthetic:
+		cfg := w.Synthetic
+		if pt.Parallelism > 0 {
+			cfg.Parallelism = pt.Parallelism
+		}
+		if pt.Tile > 0 {
+			cfg.Tile = pt.Tile
+		}
+		g := workloads.BuildSynthetic(cfg.Defaults())
+		switch w.Criticality {
+		case CritInferred:
+			g.ClearPriorities()
+			g.InferCriticality(1.0, false)
+		case CritNone:
+			g.ClearPriorities()
+		}
+		return g, nil
+	case KMeans:
+		return workloads.NewKMeans(w.KMeans).Build(), nil
+	default:
+		return nil, fmt.Errorf("unsupported workload kind %v", w.Kind)
+	}
+}
+
+// apply installs the disturbance into the model. The spec was validated,
+// so parameter errors cannot occur here.
+func (d Disturbance) apply(m *machine.Model) {
+	cores := d.Cores
+	if len(cores) == 0 {
+		cores = m.Platform().CoresOf(d.Cluster)
+	}
+	switch d.Kind {
+	case CoRunCPU:
+		if d.From == 0 && d.To == 0 {
+			interfere.CoRunCPU(m, cores, d.Share)
+		} else {
+			interfere.CoRunCPUEpisode(m, cores, d.Share, d.From, d.To)
+		}
+	case CoRunMemory:
+		interfere.CoRunMemory(m, cores[0], d.Share, d.BWFactor)
+	case DVFS:
+		interfere.DVFS(m, d.Cluster, d.HiHz, d.LoHz, d.HiDur, d.LoDur)
+	case Stall:
+		for _, c := range cores {
+			interfere.Stall(m, c, d.From, d.To)
+		}
+	case Burst:
+		interfere.BurstCPU(m, cores, d.Share, d.BusyDur, d.IdleDur, d.Phase0, d.PhaseStep)
+	case Throttle:
+		steps := d.RampSteps
+		if steps == 0 {
+			steps = 8
+		}
+		interfere.ThrottleRamp(m, d.Cluster, d.From, d.To, d.Floor, steps)
+	}
+}
+
+// collectRun extracts RunMetrics from one runtime's collector.
+func collectRun(coll *metrics.Collector, rt *simrt.Runtime) RunMetrics {
+	rm := RunMetrics{
+		Throughput: coll.Throughput(),
+		Makespan:   coll.Makespan(),
+		TasksDone:  coll.TasksDone(),
+		CoreBusy:   coll.CoreBusy(),
+		HighHist:   coll.PlaceHistogram(true),
+		Iters:      coll.IterStats(),
+	}
+	for _, st := range rt.CoreStats() {
+		rm.Steals += st.Steals
+		rm.FailedSteals += st.FailedSteals
+		rm.Dispatches += st.Dispatches
+	}
+	return rm
+}

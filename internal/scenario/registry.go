@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynasym/internal/core"
+	"dynasym/internal/workloads"
+)
+
+// Family is a named scenario generator. The scale argument shrinks task
+// counts and time windows together (1.0 = full scale), so a family behaves
+// the same shape-wise at test scale as at paper scale.
+type Family struct {
+	Name string
+	Desc string
+	Spec func(scale float64) Spec
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Family{}
+)
+
+// Register adds a family; duplicate names panic (they indicate a
+// programming error in an init block).
+func Register(f Family) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[f.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate family %q", f.Name))
+	}
+	registry[f.Name] = f
+}
+
+// Lookup returns a registered family by name.
+func Lookup(name string) (Family, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Names lists the registered families in sorted order.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clampScale normalizes a scale factor into (0, 1].
+func clampScale(s float64) float64 {
+	if s <= 0 || s > 1 {
+		return 1
+	}
+	return s
+}
+
+// scaleTasks shrinks a task count, keeping at least min.
+func scaleTasks(n int, scale float64, min int) int {
+	scaled := int(float64(n) * clampScale(scale))
+	if scaled < min {
+		return min
+	}
+	return scaled
+}
+
+// ParallelismPoints builds a sweep over DAG parallelism.
+func ParallelismPoints(ps ...int) []Point {
+	pts := make([]Point, len(ps))
+	for i, p := range ps {
+		pts[i] = Point{Label: fmt.Sprintf("P%d", p), Parallelism: p}
+	}
+	return pts
+}
+
+// The built-in families extend the paper's evaluation with conditions it
+// never ran. They are referenced by name from cmd/asymbench -scenario.
+func init() {
+	Register(Family{
+		Name: "burst-sweep",
+		Desc: "TX2 MatMul under phase-shifted bursty co-runners sweeping the A57 cluster (plus an independent burst on Denver core 1)",
+		Spec: func(scale float64) Spec {
+			f := clampScale(scale)
+			return Spec{
+				Name:     "burst-sweep",
+				Platform: PlatformSpec{Preset: "tx2"},
+				Workload: WorkloadSpec{Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+					Kernel: workloads.MatMul,
+					Tasks:  scaleTasks(32000, f, 600),
+				}},
+				Disturb: []Disturbance{
+					{Kind: Burst, Cluster: 1, Share: 0.4, BusyDur: 1.5 * f, IdleDur: 3 * f, PhaseStep: 1.0 * f},
+					{Kind: Burst, Cores: []int{1}, Share: 0.5, BusyDur: 2 * f, IdleDur: 4 * f},
+				},
+				Policies: core.All(),
+				Points:   ParallelismPoints(2, 4, 6),
+				Seed:     42,
+			}
+		},
+	})
+	Register(Family{
+		Name: "throttle-ramp",
+		Desc: "TX2 Stencil while the Denver cluster thermal-throttles to 30% mid-run and never recovers",
+		Spec: func(scale float64) Spec {
+			f := clampScale(scale)
+			return Spec{
+				Name:     "throttle-ramp",
+				Platform: PlatformSpec{Preset: "tx2"},
+				Workload: WorkloadSpec{Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+					Kernel: workloads.Stencil,
+					Tasks:  scaleTasks(20000, f, 600),
+				}},
+				Disturb: []Disturbance{
+					{Kind: Throttle, Cluster: 0, From: 2.5 * f, To: 7.5 * f, Floor: 0.3, RampSteps: 6},
+				},
+				Policies: core.All(),
+				Points:   ParallelismPoints(2, 4, 6),
+				Seed:     42,
+			}
+		},
+	})
+	for _, shape := range []struct {
+		cores    int
+		clusters int
+		per      int
+	}{
+		{16, 4, 4},
+		{32, 4, 8},
+		{64, 8, 8},
+	} {
+		shape := shape
+		Register(Family{
+			Name: fmt.Sprintf("scaleout-%d", shape.cores),
+			Desc: fmt.Sprintf("%d-core %d-cluster big/little platform exercising the O(K) Sampled search at high parallelism", shape.cores, shape.clusters),
+			Spec: func(scale float64) Spec {
+				f := clampScale(scale)
+				// One slow burst per little (odd) cluster, phase-staggered
+				// across clusters, keeps the asymmetry dynamic at scale.
+				var bursts []Disturbance
+				for ci := 1; ci < shape.clusters; ci += 2 {
+					bursts = append(bursts, Disturbance{
+						Kind: Burst, Cluster: ci, Share: 0.5,
+						BusyDur: 2 * f, IdleDur: 2 * f,
+						Phase0: float64(ci/2) * f,
+					})
+				}
+				return Spec{
+					Name:     fmt.Sprintf("scaleout-%d", shape.cores),
+					Platform: PlatformSpec{Preset: fmt.Sprintf("scaleout-%dx%d", shape.clusters, shape.per)},
+					Workload: WorkloadSpec{Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+						Kernel: workloads.MatMul,
+						Tasks:  scaleTasks(32000, scale, 1200),
+					}},
+					Disturb: bursts,
+					Policies: []core.Policy{
+						core.RWS(),
+						core.DAMC(),
+						core.NewSampled(core.DAMC(), 8),
+						core.NewSampled(core.DAMC(), 32),
+					},
+					Points: ParallelismPoints(8, 16),
+					Seed:   42,
+				}
+			},
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package simrt
+
+import (
+	"testing"
+
+	"dynasym/internal/dag"
+	"dynasym/internal/xrand"
+)
+
+// The deque is single-owner by design, but its steal/pop invariants are
+// load-bearing for the whole scheduler: PopBottom must be LIFO among its
+// candidates, PopHigh must return the newest high-priority task,
+// StealOldest must return the oldest stealable one, and no operation may
+// lose or duplicate a task. This test drives a long randomized operation
+// sequence against a reference slice model and checks every removal
+// against the model's prediction. It runs under -race in CI like the rest
+// of the package.
+func TestDequeRandomizedInvariants(t *testing.T) {
+	rng := xrand.New(12345)
+	var d deque
+	var model []*dag.Task // model[i] mirrors d.items[i]
+
+	modelRemove := func(i int) *dag.Task {
+		tk := model[i]
+		model = append(model[:i], model[i+1:]...)
+		return tk
+	}
+	// Reference predictions mirroring the documented contracts.
+	predictPopBottom := func(preferHigh bool) *dag.Task {
+		if len(model) == 0 {
+			return nil
+		}
+		idx := len(model) - 1
+		if preferHigh && !model[idx].High {
+			for i := len(model) - 2; i >= 0; i-- {
+				if model[i].High {
+					idx = i
+					break
+				}
+			}
+		}
+		return modelRemove(idx)
+	}
+	predictPopHigh := func() *dag.Task {
+		for i := len(model) - 1; i >= 0; i-- {
+			if model[i].High {
+				return modelRemove(i)
+			}
+		}
+		return nil
+	}
+	predictSteal := func(allowHigh bool) *dag.Task {
+		for i, tk := range model {
+			if allowHigh || !tk.High {
+				return modelRemove(i)
+			}
+		}
+		return nil
+	}
+
+	live := map[*dag.Task]bool{}
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(5) {
+		case 0, 1: // push (slightly biased so the deque stays populated)
+			tk := &dag.Task{High: rng.Intn(3) == 0}
+			d.PushBottom(tk)
+			model = append(model, tk)
+			if live[tk] {
+				t.Fatalf("op %d: task pushed twice", op)
+			}
+			live[tk] = true
+		case 2:
+			preferHigh := rng.Intn(2) == 0
+			want := predictPopBottom(preferHigh)
+			got, ok := d.PopBottom(preferHigh)
+			checkRemoval(t, op, "PopBottom", want, got, ok, live)
+		case 3:
+			want := predictPopHigh()
+			got, ok := d.PopHigh()
+			checkRemoval(t, op, "PopHigh", want, got, ok, live)
+		case 4:
+			allowHigh := rng.Intn(2) == 0
+			wantStealable := false
+			for _, tk := range model {
+				if allowHigh || !tk.High {
+					wantStealable = true
+					break
+				}
+			}
+			if got := d.HasStealable(allowHigh); got != wantStealable {
+				t.Fatalf("op %d: HasStealable(%v) = %v, want %v", op, allowHigh, got, wantStealable)
+			}
+			want := predictSteal(allowHigh)
+			got, ok := d.StealOldest(allowHigh)
+			checkRemoval(t, op, "StealOldest", want, got, ok, live)
+		}
+		if d.Len() != len(model) {
+			t.Fatalf("op %d: deque len %d, model len %d", op, d.Len(), len(model))
+		}
+	}
+	// Drain: every remaining task must come out exactly once, oldest first.
+	for len(model) > 0 {
+		want := modelRemove(0)
+		got, ok := d.StealOldest(true)
+		if !ok || got != want {
+			t.Fatalf("drain: got %v ok=%v, want %v", got, ok, want)
+		}
+		delete(live, got)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("deque not empty after drain: %d left", d.Len())
+	}
+}
+
+// checkRemoval verifies one removal against the model's prediction and
+// maintains the no-loss/no-duplication ledger.
+func checkRemoval(t *testing.T, op int, what string, want, got *dag.Task, ok bool, live map[*dag.Task]bool) {
+	t.Helper()
+	if (want != nil) != ok {
+		t.Fatalf("op %d: %s ok=%v, model predicted %v", op, what, ok, want)
+	}
+	if !ok {
+		return
+	}
+	if got != want {
+		t.Fatalf("op %d: %s returned wrong task (high=%v, want high=%v)", op, what, got.High, want.High)
+	}
+	if !live[got] {
+		t.Fatalf("op %d: %s returned a task that was already removed", op, what)
+	}
+	delete(live, got)
+}

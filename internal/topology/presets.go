@@ -1,5 +1,7 @@
 package topology
 
+import "fmt"
+
 // Preset platforms mirroring the paper's two evaluation machines. The cache
 // sizes and frequencies are taken from the paper (TX2: 2 MB L2 per cluster,
 // 32 KB A57 / 64 KB Denver L1D, 2035/345 MHz DVFS extremes) and public
@@ -110,6 +112,43 @@ func nodeSuffix(node int) string {
 		return "@n" + digits[node:node+1]
 	}
 	return "@n" + digits[node/10:node/10+1] + digits[node%10:node%10+1]
+}
+
+// ScaleOut returns a large asymmetric platform for scalability scenarios
+// beyond the paper's machines: nClusters clusters of coresPer cores each,
+// alternating fast ("big", 4× work per clock) and slow ("little") clusters,
+// with power-of-two widths up to the cluster size. 4×4 gives a 16-core
+// TX2-style board; 8×8 a 64-core many-cluster server. The O(K) Sampled
+// search is aimed at exactly these place counts.
+func ScaleOut(nClusters, coresPer int) *Platform {
+	var widths []int
+	for w := 1; w <= coresPer; w *= 2 {
+		if coresPer%w == 0 {
+			widths = append(widths, w)
+		}
+	}
+	var cs []Cluster
+	for i := 0; i < nClusters; i++ {
+		c := Cluster{
+			FirstCore:    i * coresPer,
+			NumCores:     coresPer,
+			Widths:       append([]int(nil), widths...),
+			BaseHz:       2.0e9,
+			MemBandwidth: 40e9,
+			L2Bytes:      4 << 20,
+		}
+		if i%2 == 0 {
+			c.Name = fmt.Sprintf("big%d", i)
+			c.Speed = 4.0
+			c.L1Bytes = 64 << 10
+		} else {
+			c.Name = fmt.Sprintf("little%d", i)
+			c.Speed = 1.0
+			c.L1Bytes = 32 << 10
+		}
+		cs = append(cs, c)
+	}
+	return MustNew(cs)
 }
 
 // Symmetric returns a single-cluster platform with n identical cores and

@@ -6,10 +6,15 @@
 package dynasym_test
 
 import (
+	"runtime"
 	"testing"
 
 	"dynasym/internal/core"
 	"dynasym/internal/experiments"
+	"dynasym/internal/interfere"
+	"dynasym/internal/machine"
+	"dynasym/internal/simrt"
+	"dynasym/internal/topology"
 	"dynasym/internal/workloads"
 )
 
@@ -128,6 +133,51 @@ func BenchmarkAblationDHEFT(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkScaleout64Engine is the event-volume stress test: a 64-core
+// 8-cluster platform (the scaleout-64 scenario family's shape) with
+// phase-staggered bursts on the little clusters, running a wide synthetic
+// MatMul DAG under the sampled DAM-C policy. The reported events/s is the
+// engine's dispatch throughput, the metric BENCH_PR2.json tracks. Workload
+// and platform construction happen outside the timed sections (with a
+// forced collection of the setup garbage), so the measurement isolates the
+// simulation loop itself.
+func BenchmarkScaleout64Engine(b *testing.B) {
+	var events uint64
+	var tasks int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		topo := topology.ScaleOut(8, 8)
+		model := machine.New(topo)
+		for ci := 1; ci < topo.NumClusters(); ci += 2 {
+			interfere.BurstCPU(model, topo.CoresOf(ci), 0.5, 2, 2, float64(ci/2), 0)
+		}
+		g := workloads.BuildSynthetic(workloads.SyntheticConfig{
+			Kernel:      workloads.MatMul,
+			Tasks:       2400,
+			Parallelism: 16,
+		}.Defaults())
+		rt, err := simrt.New(simrt.Config{
+			Topo:   topo,
+			Model:  model,
+			Policy: core.NewSampled(core.DAMC(), 32),
+			Seed:   42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runtime.GC()
+		b.StartTimer()
+		if _, err := rt.Run(g); err != nil {
+			b.Fatal(err)
+		}
+		events += rt.Engine().Processed
+		tasks += g.Total()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
 }
 
 // Engine micro-benchmarks: scheduling throughput of the simulated runtime

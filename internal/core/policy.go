@@ -37,9 +37,11 @@ const (
 	MinTime
 )
 
-// Context carries everything a policy may consult for one decision. The
-// runtimes construct it per decision; pointers reference runtime-owned
-// state.
+// Context carries everything a policy may consult for one decision.
+// Pointers reference runtime-owned state. Runtimes may reuse a single
+// Context value across decisions (simrt refills one scratch on its hot
+// path), so policies must consume it within the WakePlace/DispatchPlace
+// call and never retain it.
 type Context struct {
 	// Self is the core making the decision (the waker at wake time, the
 	// dispatching worker at dispatch time).

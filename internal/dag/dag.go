@@ -49,7 +49,11 @@ type Task struct {
 	Label string
 	// Type selects the task's Performance Trace Table.
 	Type ptt.TypeID
-	// High marks the task as high priority (critical).
+	// High marks the task as high priority (critical). It must not
+	// change while the task is queued in a runtime: the simulated
+	// runtime's deque counters and stealable-work bitmaps classify a
+	// task once at enqueue time. (ClearPriorities/InferCriticality run
+	// before Start, which satisfies this.)
 	High bool
 	// Cost describes the task to the simulator's machine model.
 	Cost machine.Cost
@@ -63,6 +67,8 @@ type Task struct {
 	OnComplete func(g *Graph, t *Task)
 	// Iter tags the task with an application iteration for per-iteration
 	// metrics; use -1 (or leave 0 for single-phase apps) when unused.
+	// Small, dense iteration numbers aggregate fastest (metrics indexes
+	// them directly); sparse tags work but fall back to a map.
 	Iter int
 	// Data carries workload-specific payload (e.g. the communication
 	// endpoints of a distributed boundary-exchange task). The runtimes
@@ -111,6 +117,51 @@ type Graph struct {
 
 // New returns an empty graph.
 func New() *Graph { return &Graph{} }
+
+// AddLayer adds a batch of tasks that all depend on the same single
+// predecessor (nil for none) — the shape of the synthetic layered DAGs —
+// under one lock acquisition and one pass of counter updates. It is
+// equivalent to calling Add(t, dep) for each task in order.
+func (g *Graph) AddLayer(tasks []*Task, dep *Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	base := int64(len(g.tasks))
+	g.tasks = append(g.tasks, tasks...)
+	g.total.Add(int64(len(tasks)))
+	g.outstanding.Add(int64(len(tasks)))
+	depOpen := dep != nil && dep.State() != Done
+	if depOpen && cap(dep.succs)-len(dep.succs) < len(tasks) {
+		grown := make([]*Task, len(dep.succs), len(dep.succs)+len(tasks))
+		copy(grown, dep.succs)
+		dep.succs = grown
+	}
+	for i, t := range tasks {
+		t.id = base + int64(i)
+		if depOpen {
+			dep.succs = append(dep.succs, t)
+			t.pending.Add(1)
+		}
+		if g.started && t.pending.Load() == 0 {
+			t.MarkReady()
+			g.readyBuf = append(g.readyBuf, t)
+		}
+	}
+}
+
+// Grow preallocates capacity for n additional tasks, so bulk builders
+// (synthetic layered DAGs, iteration graphs) avoid repeated slice regrowth.
+func (g *Graph) Grow(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cap(g.tasks)-len(g.tasks) < n {
+		grown := make([]*Task, len(g.tasks), len(g.tasks)+n)
+		copy(grown, g.tasks)
+		g.tasks = grown
+	}
+}
 
 // Add inserts the task with dependencies on the given predecessors and
 // returns it. Predecessors that already completed do not block the task.
@@ -187,6 +238,12 @@ func (g *Graph) Complete(t *Task) (newlyReady []*Task, drained bool) {
 	for _, s := range t.succs {
 		if s.pending.Add(-1) == 0 {
 			s.MarkReady()
+			if newlyReady == nil {
+				// One exact-capacity allocation on the first ready
+				// successor; completions that ready nothing allocate
+				// nothing.
+				newlyReady = make([]*Task, 0, len(t.succs))
+			}
 			newlyReady = append(newlyReady, s)
 		}
 	}

@@ -17,11 +17,32 @@
 // memory completion; the task finishes when the slowest member does, plus a
 // width-dependent synchronization overhead. Cache fit discounts DRAM
 // traffic: working sets that fit in L1/L2 stream far fewer bytes.
+//
+// # Composed-profile cache
+//
+// Duration is the simulator's hottest call, so the Model precomputes, per
+// core, the two composed profiles every prediction needs:
+//
+//	rate(t) = clusterSpeed × freq(t) × avail(t)                  [ops/s]
+//	bw(t)   = min(membw(t)/clusterCores, BytesPerCycle×freq(t))
+//	          × avail(t)                                         [bytes/s]
+//
+// Invalidation rules: SetClusterFreq and SetClusterBandwidth rebuild the
+// cache entries of every core in the cluster; SetCoreAvail rebuilds the one
+// core. The BytesPerCycle field is also folded into bw(t); because it is a
+// plain exported field, Duration additionally compares it against the value
+// the cache was built with and rebuilds everything when it changed. All
+// other tunables (Overhead, JitterRel, TimerRes, miss factors) are scalars
+// read directly on each call and need no invalidation. Configure the model
+// (Set*, field writes) strictly before sharing it between goroutines: the
+// rebuilds mutate the cache, and only a fully configured Model is safe for
+// concurrent readers.
 package machine
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"dynasym/internal/profile"
 	"dynasym/internal/topology"
@@ -97,6 +118,28 @@ type Model struct {
 	L1MissFactor  float64
 	L2MissFactor  float64
 	MemMissFactor float64
+
+	// rates caches the composed per-core profiles Duration consumes (see
+	// the package comment for the cache-invalidation rules). ratesBPC is
+	// the BytesPerCycle value the cache was built with.
+	rates    []memberRates
+	ratesBPC float64
+}
+
+// memberRates holds one core's precomposed rate profiles. For constant
+// profiles the value is additionally denormalized into rateConst/bwConst
+// (0 when the profile varies), letting Duration's member loop use the
+// closed-form completion time — bit-identical to Profile.TimeToDo's
+// constant fast path — without any calls.
+type memberRates struct {
+	// rate is clusterSpeed × freq(t) × avail(t) in ops/s.
+	rate *profile.Profile
+	// bw is the core's achievable DRAM bandwidth in bytes/s: its share of
+	// the cluster bandwidth profile, capped by the frequency-dependent
+	// per-core streaming limit, times availability.
+	bw        *profile.Profile
+	rateConst float64
+	bwConst   float64
 }
 
 // Jitter carries the per-execution noise drawn by the runtime: a
@@ -135,21 +178,73 @@ func New(topo *topology.Platform) *Model {
 	for i := 0; i < topo.NumCores(); i++ {
 		m.avail[i] = profile.Constant(1.0)
 	}
+	m.rebuildRates()
 	return m
+}
+
+// rebuildRates recomposes the cached profiles of every core.
+func (m *Model) rebuildRates() {
+	if m.rates == nil {
+		m.rates = make([]memberRates, m.topo.NumCores())
+	}
+	m.ratesBPC = m.BytesPerCycle
+	for core := range m.rates {
+		m.rebuildCore(core)
+	}
+}
+
+// rebuildCore recomposes one core's cached profiles from the current freq,
+// avail and bandwidth profiles.
+func (m *Model) rebuildCore(core int) {
+	ci := m.topo.ClusterOf(core)
+	cl := m.topo.Cluster(ci)
+	bwShare := m.membw[ci].Scale(1.0 / float64(cl.NumCores))
+	if m.BytesPerCycle > 0 {
+		bwShare = profile.Min2(bwShare, m.freq[ci].Scale(m.BytesPerCycle))
+	}
+	r := memberRates{
+		rate: profile.Mul(m.freq[ci], m.avail[core]).Scale(cl.Speed),
+		bw:   profile.Mul(bwShare, m.avail[core]),
+	}
+	if r.rate.IsConstant() {
+		r.rateConst = r.rate.At(0)
+	}
+	if r.bw.IsConstant() {
+		r.bwConst = r.bw.At(0)
+	}
+	m.rates[core] = r
+}
+
+// rebuildCluster recomposes the cached profiles of every core in a cluster.
+func (m *Model) rebuildCluster(ci int) {
+	for _, core := range m.topo.CoresOf(ci) {
+		m.rebuildCore(core)
+	}
 }
 
 // Platform returns the platform the model describes.
 func (m *Model) Platform() *topology.Platform { return m.topo }
 
-// SetClusterFreq overrides the clock profile (Hz) of cluster ci.
-func (m *Model) SetClusterFreq(ci int, p *profile.Profile) { m.freq[ci] = p }
+// SetClusterFreq overrides the clock profile (Hz) of cluster ci and
+// rebuilds the cluster's cached rate and bandwidth profiles.
+func (m *Model) SetClusterFreq(ci int, p *profile.Profile) {
+	m.freq[ci] = p
+	m.rebuildCluster(ci)
+}
 
-// SetCoreAvail overrides the availability profile (0..1) of a core.
-func (m *Model) SetCoreAvail(core int, p *profile.Profile) { m.avail[core] = p }
+// SetCoreAvail overrides the availability profile (0..1) of a core and
+// rebuilds that core's cached profiles.
+func (m *Model) SetCoreAvail(core int, p *profile.Profile) {
+	m.avail[core] = p
+	m.rebuildCore(core)
+}
 
 // SetClusterBandwidth overrides the memory bandwidth profile (bytes/s) of
-// cluster ci.
-func (m *Model) SetClusterBandwidth(ci int, p *profile.Profile) { m.membw[ci] = p }
+// cluster ci and rebuilds the cluster's cached bandwidth profiles.
+func (m *Model) SetClusterBandwidth(ci int, p *profile.Profile) {
+	m.membw[ci] = p
+	m.rebuildCluster(ci)
+}
 
 // ClusterFreq returns the clock profile of cluster ci.
 func (m *Model) ClusterFreq(ci int) *profile.Profile { return m.freq[ci] }
@@ -189,6 +284,12 @@ func (m *Model) Duration(c Cost, pl topology.Place, start float64, j Jitter) flo
 	if j.Mul <= 0 {
 		panic("machine: Jitter.Mul must be positive (use NoJitter)")
 	}
+	if m.rates == nil || m.ratesBPC != m.BytesPerCycle {
+		// BytesPerCycle was written directly since the cache was built
+		// (or the Model was constructed without New). Configuration-phase
+		// only: see the package comment.
+		m.rebuildRates()
+	}
 	ci := m.topo.ClusterOf(pl.Leader)
 	cl := m.topo.Cluster(ci)
 	w := float64(pl.Width)
@@ -204,15 +305,12 @@ func (m *Model) Duration(c Cost, pl topology.Place, start float64, j Jitter) flo
 	parOps := c.Ops * pf / w * penalty
 
 	// Memory: per-member share of split DRAM traffic plus the replicated
-	// traffic, after the cache-fit discount. Each member draws the
-	// place's proportional share of the cluster's bandwidth profile,
-	// capped by what one core can stream at the current frequency.
+	// traffic, after the cache-fit discount. Each member draws its cached
+	// bw(t) profile: the place's proportional share of the cluster's
+	// bandwidth, capped by what one core can stream at the current
+	// frequency.
 	miss := m.missFactor((c.WorkingSet/w+c.SharedBytes)*1.0, cl, pl.Width)
 	memBytesPerMember := (c.Bytes/w + c.SharedBytes) * miss
-	bwShare := m.membw[ci].Scale(1.0 / float64(cl.NumCores))
-	if m.BytesPerCycle > 0 {
-		bwShare = profile.Min2(bwShare, m.freq[ci].Scale(m.BytesPerCycle))
-	}
 
 	finish := start
 	for i := 0; i < pl.Width; i++ {
@@ -221,11 +319,26 @@ func (m *Model) Duration(c Cost, pl topology.Place, start float64, j Jitter) flo
 		if i == 0 {
 			ops += serialOps
 		}
-		// Compute rate = speed × freq(t) × avail(t). Compose lazily:
-		// the common case (both constant) short-circuits in Mul.
-		rate := profile.Mul(m.freq[ci], m.avail[core]).Scale(cl.Speed)
-		tc := rate.TimeToDo(start, ops*j.Mul)
-		tm := profile.Mul(bwShare, m.avail[core]).TimeToDo(start, memBytesPerMember*j.Mul)
+		r := &m.rates[core]
+		var tc, tm float64
+		opsWork := ops * j.Mul
+		if r.rateConst > 0 {
+			tc = start
+			if opsWork > 0 {
+				tc = start + opsWork/r.rateConst
+			}
+		} else {
+			tc = r.rate.TimeToDo(start, opsWork)
+		}
+		memWork := memBytesPerMember * j.Mul
+		if r.bwConst > 0 {
+			tm = start
+			if memWork > 0 {
+				tm = start + memWork/r.bwConst
+			}
+		} else {
+			tm = r.bw.TimeToDo(start, memWork)
+		}
 		t := math.Max(tc, tm)
 		if t > finish {
 			finish = t
@@ -243,13 +356,12 @@ func (m *Model) SerialDuration(c Cost, core int, start float64, j Jitter) float6
 	return m.Duration(c, topology.Place{Leader: core, Width: 1}, start, j)
 }
 
+// log2ceil returns ⌈log2(w)⌉ as a float64: the barrier-tree depth of a
+// width-w place. bits.Len(w-1) is the position of the highest set bit of
+// w-1, which is exactly the number of doublings needed to reach or exceed w.
 func log2ceil(w int) float64 {
 	if w <= 1 {
 		return 0
 	}
-	n := 0.0
-	for v := 1; v < w; v *= 2 {
-		n++
-	}
-	return n
+	return float64(bits.Len(uint(w - 1)))
 }

@@ -200,6 +200,7 @@ func BenchmarkDurationConstant(b *testing.B) {
 	_, m := newTX2()
 	c := Cost{Ops: 1e6, Bytes: 1e5, WorkingSet: 1e5}
 	pl := topology.Place{Leader: 2, Width: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Duration(c, pl, 0, NoJitter)
@@ -211,6 +212,7 @@ func BenchmarkDurationDVFS(b *testing.B) {
 	m.SetClusterFreq(0, profile.SquareWave(2.035e9, 345e6, 5, 5))
 	c := Cost{Ops: 1e6}
 	pl := topology.Place{Leader: 0, Width: 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Duration(c, pl, float64(i%10), NoJitter)

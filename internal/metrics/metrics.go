@@ -12,19 +12,63 @@ import (
 	"dynasym/internal/topology"
 )
 
+// maxDenseIter bounds the dense per-iteration index (well beyond the
+// largest synthetic workload's layer count; ~8 MB of pointers at worst).
+// Sparse tags above it fall back to a map, preserving the pre-dense
+// behavior for arbitrary iteration numbers.
+const maxDenseIter = 1 << 20
+
 // Collector accumulates statistics for one run. It is safe for concurrent
 // use; the simulated runtime calls it from one goroutine, the real runtime
 // from many workers.
 type Collector struct {
 	topo *topology.Platform
 
-	mu        sync.Mutex
-	coreBusy  []float64
-	placeAll  map[int]int64 // placeID → tasks executed there
-	placeHigh map[int]int64 // placeID → high-priority tasks executed there
-	byIter    map[int]*IterStat
-	tasksDone int64
-	makespan  float64
+	mu       sync.Mutex
+	coreBusy []float64
+	// placeAll and placeHigh count task executions per placeID. They are
+	// dense slices over the platform's place table rather than maps:
+	// TaskDone runs once per task on the simulation hot path, and a slice
+	// increment is an order of magnitude cheaper than a map update.
+	placeAll  []int64
+	placeHigh []int64
+	// byIter is indexed by iteration number (iterations are small and
+	// dense in every built-in workload; nil entries are iterations never
+	// seen). Aggregation uses compact (placeID, count) pairs — an
+	// iteration touches few distinct places, and a linear scan over a
+	// short pair slice beats a map assignment per task by a wide margin.
+	// byIterSparse catches tags above maxDenseIter so arbitrary
+	// iteration numbers still work. IterStats materializes the public
+	// map form on readout.
+	byIter       []*iterAgg
+	byIterSparse map[int]*iterAgg
+	tasksDone    int64
+	makespan     float64
+}
+
+// iterAgg is the collector's internal per-iteration accumulator.
+type iterAgg struct {
+	iter       int
+	tasks      int64
+	start, end float64
+	places     []placeCount
+}
+
+// placeCount is one (placeID, executions) pair of an iteration.
+type placeCount struct {
+	id int
+	n  int64
+}
+
+// bump increments the count for a placeID.
+func (a *iterAgg) bump(id int) {
+	for i := range a.places {
+		if a.places[i].id == id {
+			a.places[i].n++
+			return
+		}
+	}
+	a.places = append(a.places, placeCount{id: id, n: 1})
 }
 
 // IterStat aggregates one application iteration (Figure 9).
@@ -41,12 +85,12 @@ type IterStat struct {
 
 // NewCollector returns an empty collector for the platform.
 func NewCollector(topo *topology.Platform) *Collector {
+	nPlaces := len(topo.Places())
 	return &Collector{
 		topo:      topo,
 		coreBusy:  make([]float64, topo.NumCores()),
-		placeAll:  make(map[int]int64),
-		placeHigh: make(map[int]int64),
-		byIter:    make(map[int]*IterStat),
+		placeAll:  make([]int64, nPlaces),
+		placeHigh: make([]int64, nPlaces),
 	}
 }
 
@@ -65,19 +109,32 @@ func (c *Collector) TaskDone(pl topology.Place, high bool, _ ptt.TypeID, iter in
 		c.coreBusy[pl.Leader+i] += span
 	}
 	if iter >= 0 {
-		st := c.byIter[iter]
-		if st == nil {
-			st = &IterStat{Iter: iter, Start: start, End: finish, Places: make(map[int]int64)}
-			c.byIter[iter] = st
+		var st *iterAgg
+		if iter < maxDenseIter {
+			for iter >= len(c.byIter) {
+				c.byIter = append(c.byIter, nil)
+			}
+			if st = c.byIter[iter]; st == nil {
+				st = &iterAgg{iter: iter, start: start, end: finish}
+				c.byIter[iter] = st
+			}
+		} else {
+			if c.byIterSparse == nil {
+				c.byIterSparse = make(map[int]*iterAgg)
+			}
+			if st = c.byIterSparse[iter]; st == nil {
+				st = &iterAgg{iter: iter, start: start, end: finish}
+				c.byIterSparse[iter] = st
+			}
 		}
-		st.Tasks++
-		if start < st.Start {
-			st.Start = start
+		st.tasks++
+		if start < st.start {
+			st.start = start
 		}
-		if finish > st.End {
-			st.End = finish
+		if finish > st.end {
+			st.end = finish
 		}
-		st.Places[id]++
+		st.bump(id)
 	}
 }
 
@@ -142,6 +199,9 @@ func (c *Collector) PlaceHistogram(highOnly bool) []PlaceShare {
 	out := make([]PlaceShare, 0, len(src))
 	places := c.topo.Places()
 	for id, n := range src {
+		if n == 0 {
+			continue
+		}
 		out = append(out, PlaceShare{Place: places[id], Count: n})
 		total += n
 	}
@@ -166,14 +226,27 @@ func (c *Collector) PlaceHistogram(highOnly bool) []PlaceShare {
 // IterStats returns the per-iteration statistics ordered by iteration.
 func (c *Collector) IterStats() []IterStat {
 	c.mu.Lock()
-	out := make([]IterStat, 0, len(c.byIter))
-	for _, st := range c.byIter {
-		cp := *st
-		cp.Places = make(map[int]int64, len(st.Places))
-		for k, v := range st.Places {
-			cp.Places[k] = v
+	out := make([]IterStat, 0, len(c.byIter)+len(c.byIterSparse))
+	materialize := func(st *iterAgg) {
+		cp := IterStat{
+			Iter:   st.iter,
+			Tasks:  st.tasks,
+			Start:  st.start,
+			End:    st.end,
+			Places: make(map[int]int64, len(st.places)),
+		}
+		for _, pc := range st.places {
+			cp.Places[pc.id] = pc.n
 		}
 		out = append(out, cp)
+	}
+	for _, st := range c.byIter {
+		if st != nil {
+			materialize(st)
+		}
+	}
+	for _, st := range c.byIterSparse {
+		materialize(st)
 	}
 	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })

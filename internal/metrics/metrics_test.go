@@ -109,3 +109,21 @@ func TestZeroMakespanThroughput(t *testing.T) {
 		t.Fatal("throughput without makespan should be 0")
 	}
 }
+
+func TestSparseIterFallsBackToMap(t *testing.T) {
+	c := NewCollector(topology.TX2())
+	sparse := maxDenseIter + 1_000_000_000 // far beyond the dense range
+	c.TaskDone(topology.Place{Leader: 0, Width: 1}, false, 0, 2, 0.0, 1.0)
+	c.TaskDone(topology.Place{Leader: 0, Width: 1}, false, 0, sparse, 1.0, 2.0)
+	c.TaskDone(topology.Place{Leader: 1, Width: 1}, false, 0, sparse, 1.5, 2.5)
+	st := c.IterStats()
+	if len(st) != 2 || st[0].Iter != 2 || st[1].Iter != sparse {
+		t.Fatalf("iters = %+v", st)
+	}
+	if st[1].Tasks != 2 || st[1].Start != 1.0 || st[1].End != 2.5 {
+		t.Fatalf("sparse iter = %+v", st[1])
+	}
+	if len(c.byIter) > maxDenseIter/1024 {
+		t.Fatalf("sparse tag grew the dense index to %d entries", len(c.byIter))
+	}
+}

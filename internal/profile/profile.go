@@ -230,10 +230,77 @@ func (p *Profile) Integrate(from, to float64) float64 {
 // starts at `start` and proceeds at rate p(t) units/second. It returns +Inf
 // if the profile is zero forever after start. Zero-rate stretches simply
 // pause progress.
+//
+// This is the simulator's innermost loop, so the common shapes take
+// segment-cursor fast paths that never rescan the profile from t=0: a
+// constant profile is a single division, and a finite (non-periodic)
+// profile locates start's segment with one binary search and then walks an
+// index cursor forward. Periodic profiles index directly into the period
+// containing t via NextChange's floor arithmetic. All paths produce
+// bit-identical results to the generic scan.
 func (p *Profile) TimeToDo(start, work float64) float64 {
 	if work <= 0 {
 		return start
 	}
+	if p.period == 0 {
+		if len(p.segs) == 1 {
+			v := p.segs[0].Value
+			if v <= 0 {
+				return math.Inf(1)
+			}
+			return start + work/v
+		}
+		if start >= 0 {
+			return p.timeToDoFinite(start, work)
+		}
+	}
+	return p.timeToDoScan(start, work)
+}
+
+// timeToDoFinite is the cursor fast path for finite multi-segment profiles
+// with start >= 0. It mirrors timeToDoScan exactly — including rateOver's
+// midpoint sampling and its rounding behavior when the midpoint lands on
+// the next boundary — but resolves each segment by cursor index instead of
+// re-searching the segment list per change point.
+func (p *Profile) timeToDoFinite(start, work float64) float64 {
+	segs := p.segs
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].Start > start }) - 1
+	t := start
+	remaining := work
+	for {
+		if i == len(segs)-1 {
+			// Final segment: the rate holds forever.
+			rate := segs[i].Value
+			if rate <= 0 {
+				return math.Inf(1)
+			}
+			return t + remaining/rate
+		}
+		next := segs[i+1].Start
+		// rateOver samples At(t + (next-t)/2); with t in segment i the
+		// midpoint stays in segment i unless rounding lands it exactly on
+		// `next` (possible when next-t is at the ulp scale).
+		rate := segs[i].Value
+		if t+(next-t)/2 >= next {
+			rate = segs[i+1].Value
+		}
+		if rate > 0 {
+			capacity := rate * (next - t)
+			if capacity >= remaining {
+				return t + remaining/rate
+			}
+			remaining -= capacity
+		}
+		t = next
+		i++
+	}
+}
+
+// timeToDoScan is the generic integration loop over NextChange/rateOver,
+// used for periodic profiles (whose change points are generated by period
+// arithmetic, not stored) and as the reference semantics for the fast
+// paths.
+func (p *Profile) timeToDoScan(start, work float64) float64 {
 	t := start
 	remaining := work
 	for {

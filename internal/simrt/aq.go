@@ -1,0 +1,24 @@
+package simrt
+
+// asmQueue is one core's FIFO Assembly Queue of committed executions,
+// layered on the shared power-of-two ring. The runtime's hot operations —
+// front pop on every worker step, back push on every dispatch, and front
+// push for queue-jumping width-1 critical assemblies — are all O(1) index
+// moves; the old slice implementation paid an O(n) copy for the front
+// operations on every single dispatch.
+type asmQueue struct {
+	ring[*assembly]
+}
+
+// PushBack enqueues at the tail (normal dispatch order).
+func (q *asmQueue) PushBack(a *assembly) { q.pushBack(a) }
+
+// PushFront enqueues at the head: width-1 high-priority assemblies jump the
+// queue (see dispatch for why this cannot deadlock).
+func (q *asmQueue) PushFront(a *assembly) { q.pushFront(a) }
+
+// PopFront dequeues the head assembly; nil when empty.
+func (q *asmQueue) PopFront() *assembly {
+	a, _ := q.popFront()
+	return a
+}

@@ -7,75 +7,115 @@ import "dynasym/internal/dag"
 // stealable entry from the top, like a Blumofe–Leiserson deque. The
 // simulator is single-threaded, so no synchronization is needed; the real
 // runtime (internal/xtr) has its own locked implementation.
+//
+// Storage is the shared power-of-two ring (see ring.go), plus a count of
+// low-priority entries that makes the priority-scanning paths O(1) in the
+// common no-high-queued state and backs the runtime's stealable-work
+// bitmaps. The common operations are O(1) index moves: PushBottom appends
+// at the back, plain PopBottom removes the back, StealOldest usually
+// removes the front. Removals from the middle (the priority-scanning
+// paths) shift the shorter side of the ring instead of copying the whole
+// tail, so they cost O(min(i, n-i)) and the FIFO/LIFO order of the
+// remaining entries is preserved exactly.
 type deque struct {
-	items []*dag.Task
+	ring[*dag.Task]
+	low int // queued tasks with High == false
 }
 
-// Len returns the number of queued tasks.
-func (d *deque) Len() int { return len(d.items) }
+// LowLen returns the number of queued low-priority tasks — the entries a
+// thief may take under the paper's no-priority-steal rule. The runtime
+// mirrors Len/LowLen into its stealable-work bitmaps.
+func (d *deque) LowLen() int { return d.low }
+
+// removeAt removes and returns the task at logical index i, shifting the
+// shorter side of the window toward the gap.
+func (d *deque) removeAt(i int) *dag.Task {
+	t := d.at(i)
+	if !t.High {
+		d.low--
+	}
+	if i < d.n-1-i {
+		// Closer to the front: shift [0, i) up by one and advance head.
+		for k := i; k > 0; k-- {
+			d.set(k, d.at(k-1))
+		}
+		d.set(0, nil)
+		d.head = (d.head + 1) & (len(d.buf) - 1)
+	} else {
+		// Closer to the back: shift (i, n) down by one.
+		for k := i; k < d.n-1; k++ {
+			d.set(k, d.at(k+1))
+		}
+		d.set(d.n-1, nil)
+	}
+	d.n--
+	return t
+}
 
 // PushBottom appends a task at the owner's end.
-func (d *deque) PushBottom(t *dag.Task) { d.items = append(d.items, t) }
+func (d *deque) PushBottom(t *dag.Task) {
+	d.pushBack(t)
+	if !t.High {
+		d.low++
+	}
+}
 
 // PopBottom removes and returns the task the owner should run next: with
 // preferHigh set, the most recently pushed high-priority task if any
 // (criticality-aware policies run critical tasks first); otherwise plain
 // LIFO, which is what the priority-oblivious random work stealing family
-// does.
+// does. The priority scan is skipped entirely when the counters show no
+// high-priority entry is queued — the overwhelmingly common state.
 func (d *deque) PopBottom(preferHigh bool) (*dag.Task, bool) {
-	n := len(d.items)
-	if n == 0 {
+	if d.n == 0 {
 		return nil, false
 	}
-	idx := n - 1
-	if preferHigh && !d.items[idx].High {
-		for i := n - 2; i >= 0; i-- {
-			if d.items[i].High {
+	idx := d.n - 1
+	if preferHigh && d.low < d.n && !d.at(idx).High {
+		for i := d.n - 2; i >= 0; i-- {
+			if d.at(i).High {
 				idx = i
 				break
 			}
 		}
 	}
-	t := d.items[idx]
-	copy(d.items[idx:], d.items[idx+1:])
-	d.items[n-1] = nil
-	d.items = d.items[:n-1]
-	return t, true
+	return d.removeAt(idx), true
 }
 
 // PopHigh removes and returns the most recently pushed high-priority task,
-// if any. Criticality-aware workers dispatch these before anything else.
+// if any. Criticality-aware workers dispatch these before anything else;
+// the counters make the empty case O(1), so checking on every worker step
+// is free.
 func (d *deque) PopHigh() (*dag.Task, bool) {
-	for i := len(d.items) - 1; i >= 0; i-- {
-		if d.items[i].High {
-			t := d.items[i]
-			copy(d.items[i:], d.items[i+1:])
-			d.items[len(d.items)-1] = nil
-			d.items = d.items[:len(d.items)-1]
-			return t, true
+	if d.low == d.n {
+		return nil, false
+	}
+	for i := d.n - 1; i >= 0; i-- {
+		if d.at(i).High {
+			return d.removeAt(i), true
 		}
 	}
 	return nil, false
 }
 
 // HasStealable reports whether the deque holds a task a thief may take.
+// O(1): the counters decide both priority regimes.
 func (d *deque) HasStealable(allowHigh bool) bool {
-	for _, t := range d.items {
-		if allowHigh || !t.High {
-			return true
-		}
+	if allowHigh {
+		return d.n > 0
 	}
-	return false
+	return d.low > 0
 }
 
-// StealOldest removes and returns the oldest stealable task.
+// StealOldest removes and returns the oldest stealable task. The common
+// case — the oldest entry is stealable — is an O(1) head advance.
 func (d *deque) StealOldest(allowHigh bool) (*dag.Task, bool) {
-	for i, t := range d.items {
-		if allowHigh || !t.High {
-			copy(d.items[i:], d.items[i+1:])
-			d.items[len(d.items)-1] = nil
-			d.items = d.items[:len(d.items)-1]
-			return t, true
+	if !d.HasStealable(allowHigh) {
+		return nil, false
+	}
+	for i := 0; i < d.n; i++ {
+		if allowHigh || !d.at(i).High {
+			return d.removeAt(i), true
 		}
 	}
 	return nil, false

@@ -1,0 +1,68 @@
+package simrt
+
+// ring is the power-of-two ring-buffer core shared by the per-core WSQ
+// deque and the assembly queues: buf holds n live entries at physical
+// positions (head+i)&(len(buf)-1) for logical indexes i in [0, n), with
+// logical 0 the oldest. Specialized queue types embed it and layer their
+// own discipline (priority counters, front pushes) on top.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued entries.
+func (r *ring[T]) Len() int { return r.n }
+
+// at returns the entry at logical index i (0 = oldest).
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+// set stores an entry at logical index i.
+func (r *ring[T]) set(i int, v T) { r.buf[(r.head+i)&(len(r.buf)-1)] = v }
+
+// grow doubles the ring, unwrapping the live window to the front.
+func (r *ring[T]) grow() {
+	newCap := 8
+	if len(r.buf) > 0 {
+		newCap = len(r.buf) * 2
+	}
+	nb := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// pushBack appends at the logical end.
+func (r *ring[T]) pushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.set(r.n, v)
+	r.n++
+}
+
+// pushFront prepends before logical index 0.
+func (r *ring[T]) pushFront(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1) & (len(r.buf) - 1)
+	r.buf[r.head] = v
+	r.n++
+}
+
+// popFront removes and returns the oldest entry, zeroing its slot so the
+// ring retains no reference.
+func (r *ring[T]) popFront() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v, true
+}

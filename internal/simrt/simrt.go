@@ -20,11 +20,36 @@
 //
 // Virtual time, stealing victims and measurement jitter are all
 // deterministic functions of the configuration seed.
+//
+// # Event kinds
+//
+// The runtime drives the engine through sim's typed, allocation-free event
+// API. Its kind table:
+//
+//	kind       receiver    meaning
+//	--------   ---------   ------------------------------------------
+//	evStep     coreState   the core takes its next scheduler action
+//	                       (join assembly, dispatch, or steal)
+//	evAsmDone  assembly    the machine model's finish time arrived;
+//	                       release members, update PTT, wake deps
+//
+// Event times carry the payload: an evAsmDone's `at` is the assembly's
+// finish time. Only cold paths (execution-hook deliveries) use the engine's
+// closure API.
+//
+// # Steady-state allocation behavior
+//
+// The hot loops are allocation-free: assemblies are pooled per runtime,
+// WSQs and AQs are reusable ring buffers, the policy Context is a reused
+// scratch, wakeups touch only the idle-core bitmap, and typed events live
+// by value in the engine's heap slice. The allocation-regression tests in
+// alloc_test.go hold this property in place.
 package simrt
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -112,7 +137,14 @@ const (
 	stBusy
 )
 
+// Typed event kinds (see the package comment's kind table).
+const (
+	evStep sim.EventKind = iota
+	evAsmDone
+)
+
 type assembly struct {
+	rt      *Runtime
 	task    *dag.Task
 	place   topology.Place
 	arrived int
@@ -120,11 +152,17 @@ type assembly struct {
 	finish  float64 // estimated, for load queries; 0 until started
 }
 
+// HandleEvent completes the assembly at its scheduled finish time.
+func (a *assembly) HandleEvent(_ sim.EventKind, at float64) {
+	a.rt.completeAssembly(a, at)
+}
+
 type coreState struct {
 	id    int
+	rt    *Runtime
 	state coreStateKind
 	wsq   deque
-	aq    []*assembly
+	aq    asmQueue
 	cur   *assembly
 	rng   *xrand.RNG
 
@@ -132,6 +170,9 @@ type coreState struct {
 	failedSteals int64
 	dispatches   int64
 }
+
+// HandleEvent performs the core's next scheduler action.
+func (c *coreState) HandleEvent(sim.EventKind, float64) { c.rt.step(c) }
 
 // Runtime is one simulated runtime instance. Not safe for concurrent use;
 // everything runs on the engine's goroutine.
@@ -149,6 +190,28 @@ type Runtime struct {
 	root     *xrand.RNG
 	finished bool
 	makespan float64
+
+	// idle is a bitmap over core ids mirroring state == stIdle exactly,
+	// so wakeTask pokes only idle workers — O(idle) instead of a scan of
+	// every core per wake, which dominated at scaleout core counts.
+	idle []uint64
+	// wsqAny and wsqLow mirror, per core, wsq.Len() > 0 and
+	// wsq.LowLen() > 0. The steal sweep consults the bitmap matching the
+	// policy's priority regime, so a failed sweep costs a few word scans
+	// instead of probing every core's deque.
+	wsqAny []uint64
+	wsqLow []uint64
+	// asmFree pools assembly records; completed assemblies are recycled
+	// so steady-state dispatch allocates nothing.
+	asmFree []*assembly
+	// ctxScratch is the reused policy-decision context (policies consume
+	// it synchronously and must not retain it).
+	ctxScratch core.Context
+	// loadFn is loadEstimate bound once; a fresh method value per
+	// decision would allocate.
+	loadFn func(core int) float64
+	// tblCache memoizes Registry.Get per task type (stable pointers).
+	tblCache []*ptt.Table
 }
 
 // New validates the configuration and builds a runtime.
@@ -208,11 +271,83 @@ func New(cfg Config) (*Runtime, error) {
 	if rt.coll == nil {
 		rt.coll = metrics.NewCollector(cfg.Topo)
 	}
+	rt.loadFn = rt.loadEstimate
+	rt.ctxScratch = core.Context{Topo: rt.topo, RR: &rt.rr, Load: rt.loadFn}
 	rt.cores = make([]*coreState, cfg.Topo.NumCores())
+	words := (cfg.Topo.NumCores() + 63) / 64
+	rt.idle = make([]uint64, words)
+	rt.wsqAny = make([]uint64, words)
+	rt.wsqLow = make([]uint64, words)
 	for i := range rt.cores {
-		rt.cores[i] = &coreState{id: i, rng: rt.root.Split()}
+		rt.cores[i] = &coreState{id: i, rt: rt, rng: rt.root.Split()}
+		rt.markIdle(i)
 	}
 	return rt, nil
+}
+
+// markIdle sets a core's bit in the idle bitmap.
+func (rt *Runtime) markIdle(core int) { rt.idle[core>>6] |= 1 << (uint(core) & 63) }
+
+// clearIdle clears a core's bit in the idle bitmap.
+func (rt *Runtime) clearIdle(core int) { rt.idle[core>>6] &^= 1 << (uint(core) & 63) }
+
+// updateWSQBits refreshes a core's stealable-work bits after any WSQ
+// mutation. Every wsq push/pop site must call it.
+func (rt *Runtime) updateWSQBits(c *coreState) {
+	w, b := c.id>>6, uint64(1)<<(uint(c.id)&63)
+	if c.wsq.Len() > 0 {
+		rt.wsqAny[w] |= b
+	} else {
+		rt.wsqAny[w] &^= b
+	}
+	if c.wsq.LowLen() > 0 {
+		rt.wsqLow[w] |= b
+	} else {
+		rt.wsqLow[w] &^= b
+	}
+}
+
+// nextSetBit returns the first set bit index in [from, limit), or -1.
+func nextSetBit(bm []uint64, from, limit int) int {
+	if from >= limit {
+		return -1
+	}
+	wi := from >> 6
+	word := bm[wi] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if word != 0 {
+			if idx := wi<<6 + bits.TrailingZeros64(word); idx < limit {
+				return idx
+			}
+			return -1
+		}
+		wi++
+		if wi<<6 >= limit {
+			return -1
+		}
+		word = bm[wi]
+	}
+}
+
+// findVictim returns the first core at or after start (cyclically, skipping
+// self) whose bit is set, or nil. This visits cores in exactly the order
+// the O(cores) probe sweep used, so steal victims are unchanged.
+func (rt *Runtime) findVictim(bm []uint64, start, self int) *coreState {
+	n := len(rt.cores)
+	idx := nextSetBit(bm, start, n)
+	if idx == self {
+		idx = nextSetBit(bm, idx+1, n)
+	}
+	if idx < 0 {
+		idx = nextSetBit(bm, 0, start)
+		if idx == self {
+			idx = nextSetBit(bm, idx+1, start)
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	return rt.cores[idx]
 }
 
 // Engine returns the runtime's event engine.
@@ -278,29 +413,48 @@ func (rt *Runtime) scheduleStep(c *coreState, delay float64) {
 		return
 	}
 	c.state = stScheduled
-	rt.engine.After(delay, func() { rt.step(c) })
+	rt.clearIdle(c.id)
+	rt.engine.AfterEvent(delay, c, evStep)
 }
 
 // table returns the PTT for a task type, or nil when the policy does not
-// use a model.
+// use a model. Tables are resolved through the registry once per type and
+// then served from a local slice: registry table pointers are stable, and
+// the cache avoids the registry's atomic-load fast path on the two policy
+// decisions of every task.
 func (rt *Runtime) table(id ptt.TypeID) *ptt.Table {
 	if !rt.policy.UsesPTT() {
 		return nil
 	}
-	return rt.reg.Get(id)
+	if int(id) < len(rt.tblCache) {
+		if t := rt.tblCache[id]; t != nil {
+			return t
+		}
+	} else {
+		grown := make([]*ptt.Table, id+1)
+		copy(grown, rt.tblCache)
+		rt.tblCache = grown
+	}
+	t := rt.reg.Get(id)
+	rt.tblCache[id] = t
+	return t
 }
 
+// ctx refills the runtime's scratch decision context. The invariant fields
+// (Topo, RR, Load) are set once in New; only the per-decision fields are
+// written here. Policies consume the context within the
+// WakePlace/DispatchPlace call, so one scratch per runtime suffices and the
+// hot path stays allocation-free.
 func (rt *Runtime) ctx(self int, t *dag.Task) *core.Context {
-	return &core.Context{
-		Self:  self,
-		High:  t.High,
-		Type:  t.Type,
-		Table: rt.table(t.Type),
-		Topo:  rt.topo,
-		Rand:  rt.cores[self].rng,
-		RR:    &rt.rr,
-		Load:  rt.loadEstimate,
+	c := &rt.ctxScratch
+	c.Self = self
+	c.High = t.High
+	if c.Type != t.Type || c.Table == nil {
+		c.Type = t.Type
+		c.Table = rt.table(t.Type)
 	}
+	c.Rand = rt.cores[self].rng
+	return c
 }
 
 // loadEstimate reports how many seconds from now the core is expected to be
@@ -327,12 +481,17 @@ func (rt *Runtime) wakeTask(t *dag.Task, waker int) {
 	}
 	target := rt.cores[leader]
 	target.wsq.PushBottom(t)
+	rt.updateWSQBits(target)
 	rt.scheduleStep(target, rt.cfg.WakeLatency)
 	if !t.High || rt.policy.AllowPrioritySteal() {
-		for _, c := range rt.cores {
-			if c.state == stIdle && c != target {
-				// Idle workers discover remote work by polling, with a
-				// per-core stagger so probes do not stampede.
+		// Idle workers discover remote work by polling, with a per-core
+		// stagger so probes do not stampede. The bitmap walk visits
+		// exactly the idle cores in ascending id order (the target went
+		// non-idle above), so a wake costs O(idle), not O(cores).
+		for wi, word := range rt.idle {
+			for word != 0 {
+				c := rt.cores[wi<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
 				rt.scheduleStep(c, rt.cfg.PollDelay*(0.5+c.rng.Float64()))
 			}
 		}
@@ -355,18 +514,16 @@ func (rt *Runtime) step(c *coreState) {
 	// never stranded behind committed low-priority assemblies.
 	if !rt.policy.AllowPrioritySteal() {
 		if t, ok := c.wsq.PopHigh(); ok {
+			rt.updateWSQBits(c)
 			rt.dispatch(c, t)
 			c.dispatches++
-			rt.engine.After(rt.cfg.DispatchCost, func() { rt.step(c) })
+			rt.engine.AfterEvent(rt.cfg.DispatchCost, c, evStep)
 			return
 		}
 	}
 
 	// 1. Committed assemblies first: another worker may be waiting on us.
-	if len(c.aq) > 0 {
-		a := c.aq[0]
-		copy(c.aq, c.aq[1:])
-		c.aq = c.aq[:len(c.aq)-1]
+	if a := c.aq.PopFront(); a != nil {
 		c.state = stBusy
 		c.cur = a
 		a.arrived++
@@ -379,35 +536,41 @@ func (rt *Runtime) step(c *coreState) {
 	// 2. Local ready tasks. Criticality-aware policies run high-priority
 	// tasks first; the RWS family is priority-oblivious.
 	if t, ok := c.wsq.PopBottom(!rt.policy.AllowPrioritySteal()); ok {
+		rt.updateWSQBits(c)
 		rt.dispatch(c, t)
 		c.dispatches++
-		rt.engine.After(rt.cfg.DispatchCost, func() { rt.step(c) })
+		rt.engine.AfterEvent(rt.cfg.DispatchCost, c, evStep)
 		return
 	}
 
 	// 3. Steal: sweep the other cores from a pseudo-random start and take
 	// the first victim's oldest stealable task — the event-level
 	// equivalent of a spinning thief's rapid successive probes. The
-	// placement decision is then re-run on this core (the paper's step 4:
-	// the PTT is visited again after a successful steal). If the sweep
-	// finds nothing the core goes idle; new pushes wake idle cores.
-	n := len(rt.cores)
+	// stealable-work bitmaps pick the same victim the per-core probe
+	// sweep would, in O(words) instead of O(cores). The placement
+	// decision is then re-run on this core (the paper's step 4: the PTT
+	// is visited again after a successful steal). If no victim exists the
+	// core goes idle; new pushes wake idle cores.
 	allowHigh := rt.policy.AllowPrioritySteal()
-	start := c.rng.Intn(n)
-	for i := 0; i < n; i++ {
-		v := rt.cores[(start+i)%n]
-		if v == c {
-			continue
+	bm := rt.wsqLow
+	if allowHigh {
+		bm = rt.wsqAny
+	}
+	start := c.rng.Intn(len(rt.cores))
+	if v := rt.findVictim(bm, start, c.id); v != nil {
+		t, ok := v.wsq.StealOldest(allowHigh)
+		if !ok {
+			panic(fmt.Sprintf("simrt: stealable bitmap out of sync on core %d", v.id))
 		}
-		if t, ok := v.wsq.StealOldest(allowHigh); ok {
-			c.steals++
-			rt.dispatch(c, t)
-			rt.engine.After(rt.cfg.StealCost, func() { rt.step(c) })
-			return
-		}
+		rt.updateWSQBits(v)
+		c.steals++
+		rt.dispatch(c, t)
+		rt.engine.AfterEvent(rt.cfg.StealCost, c, evStep)
+		return
 	}
 	c.failedSteals++
 	c.state = stIdle
+	rt.markIdle(c.id)
 	// Nothing to do; wait for a wake.
 }
 
@@ -419,7 +582,7 @@ func (rt *Runtime) dispatch(c *coreState, t *dag.Task) {
 		panic(fmt.Sprintf("simrt: policy %s produced invalid place %v", rt.policy.Name(), pl))
 	}
 	t.MarkRunning()
-	a := &assembly{task: t, place: pl}
+	a := rt.getAssembly(t, pl)
 	for i := 0; i < pl.Width; i++ {
 		m := rt.cores[pl.Leader+i]
 		if t.High && pl.Width == 1 {
@@ -428,14 +591,33 @@ func (rt *Runtime) dispatch(c *coreState, t *dag.Task) {
 			// assemblies cannot create a circular wait (wider assemblies
 			// could: a member already blocked in an overtaken assembly
 			// would deadlock the newcomer's rendezvous).
-			m.aq = append(m.aq, nil)
-			copy(m.aq[1:], m.aq)
-			m.aq[0] = a
+			m.aq.PushFront(a)
 		} else {
-			m.aq = append(m.aq, a)
+			m.aq.PushBack(a)
 		}
 		rt.scheduleStep(m, rt.cfg.WakeLatency)
 	}
+}
+
+// getAssembly takes a pooled assembly record (or allocates the pool's
+// growth) and initializes it for one execution.
+func (rt *Runtime) getAssembly(t *dag.Task, pl topology.Place) *assembly {
+	if n := len(rt.asmFree); n > 0 {
+		a := rt.asmFree[n-1]
+		rt.asmFree[n-1] = nil
+		rt.asmFree = rt.asmFree[:n-1]
+		*a = assembly{rt: rt, task: t, place: pl}
+		return a
+	}
+	return &assembly{rt: rt, task: t, place: pl}
+}
+
+// putAssembly recycles a completed assembly. Callers guarantee no live
+// references remain: all members popped it from their AQs and cleared cur,
+// and its finish event has fired.
+func (rt *Runtime) putAssembly(a *assembly) {
+	a.task = nil
+	rt.asmFree = append(rt.asmFree, a)
 }
 
 // startAssembly runs when the last member arrives.
@@ -458,7 +640,7 @@ func (rt *Runtime) startAssembly(a *assembly) {
 			if finish <= rt.engine.Now() {
 				rt.completeAssembly(a, rt.engine.Now())
 			} else {
-				rt.engine.At(finish, func() { rt.completeAssembly(a, finish) })
+				rt.engine.AtEvent(finish, a, evAsmDone)
 			}
 		})
 		if handled {
@@ -471,7 +653,7 @@ func (rt *Runtime) startAssembly(a *assembly) {
 		panic(fmt.Sprintf("simrt: task %q never finishes on %v (zero rate forever)", a.task.Label, a.place))
 	}
 	a.finish = finish
-	rt.engine.At(finish, func() { rt.completeAssembly(a, finish) })
+	rt.engine.AtEvent(finish, a, evAsmDone)
 }
 
 // completeAssembly releases the members, updates the PTT with the leader's
@@ -502,11 +684,13 @@ func (rt *Runtime) completeAssembly(a *assembly, finish float64) {
 		}
 		m.cur = nil
 		m.state = stScheduled
-		rt.engine.At(finish, func() { rt.step(m) })
+		rt.engine.AtEvent(finish, m, evStep)
 	}
-	ready, drained := rt.graph.Complete(a.task)
+	task, leader := a.task, a.place.Leader
+	rt.putAssembly(a)
+	ready, drained := rt.graph.Complete(task)
 	for _, t := range ready {
-		rt.wakeTask(t, a.place.Leader)
+		rt.wakeTask(t, leader)
 	}
 	if drained {
 		rt.finished = true

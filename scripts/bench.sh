@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# bench.sh — run the simulator perf benchmarks and emit BENCH_<TAG>.json.
+#
+# Usage: scripts/bench.sh [TAG]     (default TAG: local)
+#
+# The JSON holds one entry per benchmark with every metric Go reported
+# (ns/op, events/s, B/op, allocs/op, ...). See EXPERIMENTS.md for the
+# workflow; BENCH_PR2.json is the committed baseline/current snapshot.
+set -eu
+
+TAG="${1:-local}"
+OUT="BENCH_${TAG}.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+cd "$(dirname "$0")/.."
+
+run() {
+	# shellcheck disable=SC2086
+	go test -run '^$' -bench "$1" -benchtime=3s -count=1 -benchmem "$2" | grep '^Benchmark' >>"$TMP" || true
+}
+
+run 'BenchmarkScaleout64Engine$|BenchmarkSimulatedSchedulerThroughput$' .
+run 'BenchmarkEventThroughput$|BenchmarkEngineTypedEvents$|BenchmarkEngineClosureEvents$' ./internal/sim
+run 'BenchmarkDurationConstant$|BenchmarkDurationDVFS$' ./internal/machine
+
+{
+	printf '{\n'
+	printf '  "tag": "%s",\n' "$TAG"
+	printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
+	printf '  "benchmarks": [\n'
+	awk '
+		/^Benchmark/ {
+			if (found) printf ",\n"
+			found = 1
+			name = $1; sub(/-[0-9]+$/, "", name)
+			printf "    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2
+			sep = ""
+			for (i = 3; i + 1 <= NF; i += 2) {
+				printf "%s\"%s\": %s", sep, $(i + 1), $i
+				sep = ", "
+			}
+			printf "}}"
+		}
+		END { printf "\n" }
+	' "$TMP"
+	printf '  ]\n}\n'
+} >"$OUT"
+
+echo "wrote $OUT"

@@ -42,9 +42,15 @@ func main() {
 			fmt.Printf("  %s\n", n)
 		}
 		fmt.Println("scenario families (-scenario):")
+		width := 0
+		for _, n := range scenario.Names() {
+			if len(n) > width {
+				width = len(n)
+			}
+		}
 		for _, n := range scenario.Names() {
 			f, _ := scenario.Lookup(n)
-			fmt.Printf("  %-14s %s\n", n, f.Desc)
+			fmt.Printf("  %-*s  %s\n", width, n, f.Desc)
 		}
 		if *exp == "" && *scenName == "" {
 			os.Exit(2)
@@ -55,7 +61,8 @@ func main() {
 	if *scenName != "" {
 		f, ok := scenario.Lookup(*scenName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "asymbench: unknown scenario %q (try -list)\n", *scenName)
+			fmt.Fprintf(os.Stderr, "asymbench: unknown scenario %q (available: %s)\n",
+				*scenName, strings.Join(scenario.Names(), ", "))
 			os.Exit(1)
 		}
 		spec := f.Spec(*scale)

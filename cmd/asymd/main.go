@@ -1,0 +1,92 @@
+// Command asymd serves the scenario engine over HTTP: submit a spec (or a
+// registered family at a scale), poll the job, fetch the memoized result.
+// Identical concurrent submissions share one simulation; finished results
+// are cached by the spec's canonical hash.
+//
+// Usage:
+//
+//	asymd                          # listen on :8080
+//	asymd -addr 127.0.0.1:0        # ephemeral port (logged at startup)
+//	asymd -workers 4 -cache 256
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/jobs            submit {"family","scale","seed"} or {"spec":{...}}
+//	GET  /v1/jobs/{id}       job status + progress
+//	GET  /v1/results/{hash}  grid summary + bit-exact fingerprint
+//	GET  /v1/families        registered scenario families
+//	GET  /v1/healthz         liveness + counters
+//
+// SIGINT/SIGTERM drain in-flight jobs before exit (bounded by -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynasym/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		workers = flag.Int("workers", 0, "concurrent engine runs (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 128, "result cache capacity (finished jobs)")
+		drain   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+		jsonLog = flag.Bool("json", false, "log JSON instead of text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stdout, nil)
+	if *jsonLog {
+		handler = slog.NewJSONHandler(os.Stdout, nil)
+	}
+	logger := slog.New(handler)
+
+	mgr := service.NewManager(service.Config{Workers: *workers, CacheSize: *cache})
+
+	// Listen before serving so "-addr :0" resolves to a concrete port we
+	// can log (the smoke test scrapes this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Handler:           mgr.Handler(logger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Info("asymd listening", "addr", ln.Addr().String(), "workers", *workers, "cache", *cache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "drain", drain.String())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("http shutdown incomplete", "err", err)
+	}
+	if err := mgr.Shutdown(shutCtx); err != nil {
+		logger.Warn("jobs still in flight at exit", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("bye")
+}

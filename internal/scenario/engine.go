@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dynasym/internal/core"
 	"dynasym/internal/dag"
@@ -70,6 +71,10 @@ func Run(s Spec) (*Result, error) {
 		workers = len(jobs)
 	}
 	errs := make([]error, len(jobs))
+	if s.Progress != nil {
+		s.Progress(0, len(jobs))
+	}
+	var completed atomic.Int64
 	ch := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -83,10 +88,13 @@ func Run(s Spec) (*Result, error) {
 				if err != nil {
 					errs[ji] = fmt.Errorf("scenario %q: %s at %s (rep %d): %w",
 						s.Name, res.Policies[j.pi], s.Points[j.xi].Label, j.rep, err)
-					continue
+				} else {
+					rm.Seed = seed
+					res.Cells[j.pi][j.xi].Runs[j.rep] = rm
 				}
-				rm.Seed = seed
-				res.Cells[j.pi][j.xi].Runs[j.rep] = rm
+				if s.Progress != nil {
+					s.Progress(int(completed.Add(1)), len(jobs))
+				}
 			}
 		}()
 	}

@@ -289,6 +289,13 @@ type Spec struct {
 	// Trace, when non-nil, records the schedule of the run. Only valid
 	// for single-cell specs (one policy, one point, one rep).
 	Trace *trace.Recorder
+	// Progress, when non-nil, receives cell-completion updates from Run:
+	// once with (0, total) before execution starts, then once after every
+	// finished (policy × point × repetition) cell. Calls come from
+	// concurrent worker goroutines; the hook must be safe for concurrent
+	// use. Like Workers and Trace, Progress is execution plumbing, not
+	// part of the scenario's identity — CanonicalJSON and Hash ignore it.
+	Progress func(done, total int)
 }
 
 // withDefaults fills unset fields.
@@ -404,9 +411,9 @@ type window struct {
 // a cluster's clock, a cluster's memory bandwidth) over overlapping
 // windows — later profiles would silently replace earlier ones.
 func validateDisturbances(name string, topo *topology.Platform, ds []Disturbance, nodes int) error {
-	coreWins := map[[2]int][]window{}  // (node, core) → windows
-	freqWins := map[[2]int][]window{}  // (node, cluster) → windows
-	bwWins := map[[2]int][]window{}    // (node, cluster) → windows
+	coreWins := map[[2]int][]window{} // (node, core) → windows
+	freqWins := map[[2]int][]window{} // (node, cluster) → windows
+	bwWins := map[[2]int][]window{}   // (node, cluster) → windows
 	for i, d := range ds {
 		where := fmt.Sprintf("scenario %q: disturbance %d (%v)", name, i, d.Kind)
 		if d.Node < 0 || d.Node >= nodes {

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dynasym/internal/core"
+	"dynasym/internal/scenario"
+	"dynasym/internal/workloads"
+)
+
+// benchSpec is the service-path workload: big enough that a cold run does
+// real simulation, small enough for the CI 1-iteration rot gate.
+func benchSpec(seed uint64) scenario.Spec {
+	return scenario.Spec{
+		Name: "service-bench",
+		Workload: scenario.WorkloadSpec{Kind: scenario.Synthetic, Synthetic: workloads.SyntheticConfig{
+			Kernel: workloads.MatMul, Tasks: 2000, Parallelism: 8,
+		}},
+		Policies: []core.Policy{core.DAMC()},
+		Points:   scenario.ParallelismPoints(8),
+		Seed:     seed,
+	}
+}
+
+// BenchmarkServiceCacheHit measures a warm lookup: submit of an
+// already-cached spec (validate + canonicalize + hash + LRU hit), the
+// service's steady-state serving cost.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	m := NewManager(Config{Workers: 1, CacheSize: 4})
+	j, _, err := m.Submit(benchSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, existing, err := m.Submit(benchSpec(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !existing {
+			b.Fatal("cache miss on a warm spec")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkServiceColdRun measures the uncached path end to end: a fresh
+// spec per iteration (seed varies the hash), one full engine run each.
+func BenchmarkServiceColdRun(b *testing.B) {
+	m := NewManager(Config{Workers: 1, CacheSize: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, existing, err := m.Submit(benchSpec(uint64(1000 + i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if existing {
+			b.Fatal("unexpected cache hit on a fresh seed")
+		}
+		if err := j.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if j.State() != StateDone {
+			b.Fatalf("job failed: %v", j.Snapshot().Error)
+		}
+	}
+}

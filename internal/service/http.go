@@ -1,0 +1,231 @@
+package service
+
+// HTTP/JSON wire API over Manager:
+//
+//	POST /v1/jobs            {"family": "...", "scale": 0.1, "seed": 7}
+//	                         or {"spec": {...canonical spec JSON...}}
+//	                         → 202 Status (200 when absorbed by an
+//	                         in-flight or cached job)
+//	GET  /v1/jobs/{id}       → 200 Status
+//	GET  /v1/results/{hash}  → 200 Result (409 while still running)
+//	GET  /v1/families        → 200 [{name, desc}]
+//	GET  /v1/healthz         → 200 {ok, stats}
+//
+// Job IDs are spec hashes, so the jobs and results namespaces share keys:
+// submit returns the ID, poll /v1/jobs/{id} until "done", then fetch
+// /v1/results/{id}.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"dynasym/internal/scenario"
+)
+
+// maxSpecBytes bounds a submitted spec document.
+const maxSpecBytes = 1 << 20
+
+// SubmitRequest is the POST /v1/jobs body: either a registered family at
+// a scale, or a raw spec document — not both.
+type SubmitRequest struct {
+	Family string          `json:"family,omitempty"`
+	Scale  float64         `json:"scale,omitempty"`
+	Seed   *uint64         `json:"seed,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+}
+
+// ResultResponse is the GET /v1/results/{hash} body: the grid summary
+// plus the engine's bit-exact fingerprint (identical to what a direct
+// scenario.Run of the same spec produces).
+type ResultResponse struct {
+	Hash        string      `json:"hash"`
+	Name        string      `json:"name"`
+	Topo        string      `json:"topo"`
+	Policies    []string    `json:"policies"`
+	Points      []string    `json:"points"`
+	Throughputs [][]float64 `json:"throughputs"`
+	Fingerprint string      `json:"fingerprint"`
+	ElapsedSec  float64     `json:"elapsed_sec"`
+}
+
+// FamilyInfo is one GET /v1/families entry.
+type FamilyInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// Handler returns the service's HTTP handler with structured request
+// logging to logger (nil = slog.Default()).
+func (m *Manager) Handler(logger *slog.Logger) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", m.handleHealthz)
+	mux.HandleFunc("GET /v1/families", m.handleFamilies)
+	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleJob)
+	mux.HandleFunc("GET /v1/results/{hash}", m.handleResult)
+	return logRequests(logger, mux)
+}
+
+func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK    bool  `json:"ok"`
+		Stats Stats `json:"stats"`
+	}{true, m.Stats()})
+}
+
+func (m *Manager) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	names := scenario.Names()
+	out := make([]FamilyInfo, 0, len(names))
+	for _, n := range names {
+		f, _ := scenario.Lookup(n)
+		out = append(out, FamilyInfo{Name: f.Name, Desc: f.Desc})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var (
+		job      *Job
+		existing bool
+		err      error
+	)
+	switch {
+	case req.Family != "" && len(req.Spec) > 0:
+		writeError(w, http.StatusBadRequest, errors.New("give either family or spec, not both"))
+		return
+	case req.Family != "":
+		job, existing, err = m.SubmitFamily(req.Family, req.Scale, req.Seed)
+	case len(req.Spec) > 0:
+		var spec scenario.Spec
+		spec, err = scenario.ParseSpec(req.Spec)
+		if err == nil {
+			job, existing, err = m.Submit(spec)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("give a family or a spec"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if existing {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job.Snapshot())
+}
+
+func (m *Manager) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job (evicted or never submitted)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Job(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown result (evicted or never submitted)"))
+		return
+	}
+	switch job.State() {
+	case StateQueued, StateRunning:
+		writeJSON(w, http.StatusConflict, job.Snapshot())
+		return
+	case StateFailed:
+		_, _, _, err := job.Result()
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	res, fprint, elapsed, err := job.Result()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	labels := make([]string, len(res.Points))
+	for i, pt := range res.Points {
+		labels[i] = pt.Label
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{
+		Hash:        job.Hash,
+		Name:        res.Name,
+		Topo:        res.Topo.String(),
+		Policies:    res.Policies,
+		Points:      labels,
+		Throughputs: res.Throughputs(),
+		Fingerprint: fprint,
+		ElapsedSec:  elapsed.Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// statusWriter captures the response code and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// logRequests emits one structured log line per request.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"bytes", sw.bytes,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

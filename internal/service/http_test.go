@@ -1,0 +1,297 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynasym/internal/scenario"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := NewManager(cfg)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := httptest.NewServer(m.Handler(logger))
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJob(t *testing.T, url string, body string) (Status, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st Status
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("POST /v1/jobs: decode %q: %v", raw, err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func pollDone(t *testing.T, url, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st Status
+		if code := getJSON(t, url+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Status{}
+}
+
+// TestHTTPEndToEnd is the acceptance check: submit over HTTP, poll to
+// done, fetch the result, and compare the fingerprint byte-for-byte with
+// a direct engine run of the same spec; then resubmit and verify the
+// cache answers without another engine run.
+func TestHTTPEndToEnd(t *testing.T) {
+	m, srv := newTestServer(t, Config{Workers: 2, CacheSize: 8})
+
+	spec := tinySpec(21)
+	specJSON, err := spec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"spec": %s}`, specJSON)
+
+	st, code := postJob(t, srv.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST: status %d, want 202", code)
+	}
+	if st.ID == "" {
+		t.Fatal("no job id")
+	}
+	wantHash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != wantHash {
+		t.Errorf("job id %s, want the spec hash %s", st.ID, wantHash)
+	}
+
+	final := pollDone(t, srv.URL, st.ID)
+	if final.State != "done" {
+		t.Fatalf("job finished as %q: %s", final.State, final.Error)
+	}
+	if final.CellsDone != final.CellsTotal || final.CellsTotal == 0 {
+		t.Errorf("progress %d/%d at done", final.CellsDone, final.CellsTotal)
+	}
+
+	var res ResultResponse
+	if code := getJSON(t, srv.URL+"/v1/results/"+st.ID, &res); code != http.StatusOK {
+		t.Fatalf("GET result: status %d", code)
+	}
+	direct := scenario.MustRun(tinySpec(21))
+	if res.Fingerprint != direct.Fingerprint() {
+		t.Errorf("HTTP fingerprint differs from direct engine run")
+	}
+	if len(res.Throughputs) != 2 || len(res.Throughputs[0]) != 2 {
+		t.Errorf("throughput grid %dx?, want 2x2", len(res.Throughputs))
+	}
+
+	// Resubmit: served from cache, no new engine run.
+	st2, code := postJob(t, srv.URL, body)
+	if code != http.StatusOK {
+		t.Errorf("cached POST: status %d, want 200", code)
+	}
+	if st2.State != "done" {
+		t.Errorf("cached POST state %q, want done", st2.State)
+	}
+	if got := m.EngineRuns(); got != 1 {
+		t.Errorf("engine ran %d times, want 1", got)
+	}
+}
+
+// TestHTTPConcurrentIdenticalPosts checks N concurrent identical POSTs
+// collapse to one job id and one engine run over the wire.
+func TestHTTPConcurrentIdenticalPosts(t *testing.T) {
+	m, srv := newTestServer(t, Config{Workers: 2, CacheSize: 8})
+	spec := tinySpec(22)
+	sj, err := spec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"spec": %s}`, sj)
+
+	const n = 8
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, code := postJob(t, srv.URL, body)
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Errorf("POST %d: status %d", i, code)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("POST %d got job %s, POST 0 got %s", i, ids[i], ids[0])
+		}
+	}
+	pollDone(t, srv.URL, ids[0])
+	if got := m.EngineRuns(); got != 1 {
+		t.Errorf("engine ran %d times for %d identical POSTs, want 1", got, n)
+	}
+	// All N callers fetch the one fingerprint.
+	fps := map[string]bool{}
+	for i := 0; i < n; i++ {
+		var res ResultResponse
+		if code := getJSON(t, srv.URL+"/v1/results/"+ids[i], &res); code != http.StatusOK {
+			t.Fatalf("GET result %d: status %d", i, code)
+		}
+		fps[res.Fingerprint] = true
+	}
+	if len(fps) != 1 {
+		t.Errorf("%d distinct fingerprints, want 1", len(fps))
+	}
+}
+
+// TestHTTPFamilySubmit submits a registered family by name.
+func TestHTTPFamilySubmit(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	st, code := postJob(t, srv.URL, `{"family": "burst-sweep", "scale": 0.001}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST family: status %d", code)
+	}
+	final := pollDone(t, srv.URL, st.ID)
+	if final.State != "done" {
+		t.Fatalf("family job finished as %q: %s", final.State, final.Error)
+	}
+	var res ResultResponse
+	if code := getJSON(t, srv.URL+"/v1/results/"+st.ID, &res); code != http.StatusOK {
+		t.Fatalf("GET family result: status %d", code)
+	}
+	if res.Name != "burst-sweep" || res.Fingerprint == "" {
+		t.Errorf("family result name=%q fingerprint empty=%v", res.Name, res.Fingerprint == "")
+	}
+}
+
+// TestHTTPErrors covers the 4xx surface.
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"empty":          {`{}`, http.StatusBadRequest},
+		"both":           {`{"family": "burst-sweep", "spec": {"policies": ["RWS"]}}`, http.StatusBadRequest},
+		"unknown family": {`{"family": "nope"}`, http.StatusBadRequest},
+		"bad spec":       {`{"spec": {"workload": {"kind": "synthetic"}, "policies": ["SJF"]}}`, http.StatusBadRequest},
+		"invalid spec":   {`{"spec": {"workload": {"kind": "synthetic"}, "policies": []}}`, http.StatusBadRequest},
+		"unknown field":  {`{"famly": "burst-sweep"}`, http.StatusBadRequest},
+		"not json":       {`hello`, http.StatusBadRequest},
+	} {
+		_, code := postJob(t, srv.URL, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d", name, code, tc.want)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/deadbeef", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/results/deadbeef", nil); code != http.StatusNotFound {
+		t.Errorf("unknown result: status %d, want 404", code)
+	}
+}
+
+// TestHTTPHealthzAndFamilies checks the discovery endpoints.
+func TestHTTPHealthzAndFamilies(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 3, CacheSize: 7})
+	var health struct {
+		OK    bool  `json:"ok"`
+		Stats Stats `json:"stats"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if !health.OK || health.Stats.Workers != 3 || health.Stats.CacheSize != 7 {
+		t.Errorf("healthz = %+v", health)
+	}
+	var fams []FamilyInfo
+	if code := getJSON(t, srv.URL+"/v1/families", &fams); code != http.StatusOK {
+		t.Fatalf("families status %d", code)
+	}
+	if len(fams) != len(scenario.Names()) {
+		t.Fatalf("%d families, want %d", len(fams), len(scenario.Names()))
+	}
+	for _, f := range fams {
+		if f.Name == "" || f.Desc == "" {
+			t.Errorf("family %+v missing name or desc", f)
+		}
+	}
+}
+
+// TestRequestLogging checks the middleware emits structured lines.
+func TestRequestLogging(t *testing.T) {
+	m := NewManager(Config{})
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(syncWriter{&mu, &buf}, nil))
+	srv := httptest.NewServer(m.Handler(logger))
+	defer srv.Close()
+	if code := getJSON(t, srv.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{"method=GET", "path=/v1/healthz", "status=200", "dur_ms="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("request log %q missing %q", out, want)
+		}
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,52 @@
+package service
+
+import "container/list"
+
+// lru is a non-thread-safe least-recently-used map from spec hash to
+// finished job; callers hold the manager lock. Get promotes, Add inserts
+// at the front and evicts from the back past capacity.
+type lru struct {
+	cap   int
+	order *list.List               // front = most recent; values are *Job
+	byKey map[string]*list.Element // hash → element
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element, capacity)}
+}
+
+func (c *lru) Get(key string) (*Job, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*Job), true
+}
+
+func (c *lru) Add(key string, j *Job) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value = j
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(j)
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		evicted := back.Value.(*Job)
+		c.order.Remove(back)
+		delete(c.byKey, evicted.Hash)
+	}
+}
+
+func (c *lru) Len() int { return c.order.Len() }
+
+// Keys returns the hashes from most to least recently used (for tests and
+// the health endpoint).
+func (c *lru) Keys() []string {
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Job).Hash)
+	}
+	return out
+}

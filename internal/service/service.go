@@ -1,0 +1,345 @@
+// Package service turns the scenario engine into a long-lived,
+// cache-backed job service: submit a scenario.Spec (or a registered
+// family at a scale), get back a job keyed by the spec's canonical hash,
+// poll it, and fetch the memoized result.
+//
+// The manager deduplicates by construction: a job's identity IS its spec
+// hash, so N concurrent submissions of the same spec share one queued
+// job — and therefore exactly one engine run (singleflight without a
+// second index). Finished jobs move into a bounded LRU; resubmitting a
+// cached spec returns the done job immediately without re-simulating.
+// The scenario engine is deterministic (same spec → bit-identical
+// fingerprint), which is what makes memoization sound.
+//
+// cmd/asymd wraps Manager.Handler in an HTTP daemon; see http.go for the
+// wire API.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynasym/internal/scenario"
+)
+
+// State is a job's lifecycle position.
+type State int32
+
+const (
+	// StateQueued: accepted, waiting for a worker slot.
+	StateQueued State = iota
+	// StateRunning: a worker is executing the scenario grid.
+	StateRunning
+	// StateDone: finished successfully; result and fingerprint are set.
+	StateDone
+	// StateFailed: the engine returned an error (kept, like successes, so
+	// identical bad specs fail fast from cache).
+	StateFailed
+)
+
+// String names the state for the wire API.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Job is one submitted spec moving through the lifecycle. Fields written
+// after creation are guarded by the manager lock or atomics; read them
+// through Snapshot, Result or Wait.
+type Job struct {
+	// Hash is the spec's canonical hash — the job ID and cache key.
+	Hash string
+	// Spec is the parsed, submitted spec (without execution-only fields).
+	Spec scenario.Spec
+
+	state   atomic.Int32
+	done    chan struct{} // closed on completion
+	created time.Time
+
+	cellsDone  atomic.Int64
+	cellsTotal atomic.Int64
+	// hits counts submissions served by this job after its first (in
+	// flight or from cache) — the dedupe/cache-hit counter.
+	hits atomic.Int64
+
+	// Written once before close(done), read after.
+	result            *scenario.Result
+	fperr             error
+	fprint            string
+	elapsed           time.Duration
+	started, finished time.Time
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// Done returns a channel closed when the job reaches done or failed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes or the context is cancelled.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result returns the result, fingerprint and run duration of a completed
+// job; it errors if the job failed or has not finished.
+func (j *Job) Result() (*scenario.Result, string, time.Duration, error) {
+	select {
+	case <-j.done:
+	default:
+		return nil, "", 0, fmt.Errorf("service: job %s is %s", j.Hash, j.State())
+	}
+	if j.fperr != nil {
+		return nil, "", 0, j.fperr
+	}
+	return j.result, j.fprint, j.elapsed, nil
+}
+
+// Hits reports how many submissions this job absorbed beyond the first.
+func (j *Job) Hits() int64 { return j.hits.Load() }
+
+// Status is an exported snapshot of a job for the wire API.
+type Status struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	CellsDone  int64   `json:"cells_done"`
+	CellsTotal int64   `json:"cells_total"`
+	CacheHits  int64   `json:"cache_hits"`
+	Error      string  `json:"error,omitempty"`
+	CreatedAt  string  `json:"created_at"`
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+	ResultURL  string  `json:"result_url,omitempty"`
+}
+
+// Snapshot captures the job's current status.
+func (j *Job) Snapshot() Status {
+	st := Status{
+		ID:         j.Hash,
+		State:      j.State().String(),
+		CellsDone:  j.cellsDone.Load(),
+		CellsTotal: j.cellsTotal.Load(),
+		CacheHits:  j.hits.Load(),
+		CreatedAt:  j.created.UTC().Format(time.RFC3339Nano),
+	}
+	switch j.State() {
+	case StateDone:
+		st.ElapsedSec = j.elapsed.Seconds()
+		st.ResultURL = "/v1/results/" + j.Hash
+	case StateFailed:
+		st.Error = j.fperr.Error()
+	}
+	return st
+}
+
+// Config sizes a Manager.
+type Config struct {
+	// Workers bounds concurrent engine runs (default GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the finished-job LRU (default 128 entries).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	return c
+}
+
+// Manager owns the job table, the worker pool and the result cache.
+type Manager struct {
+	cfg Config
+	sem chan struct{} // worker slots
+
+	mu       sync.Mutex
+	inflight map[string]*Job // queued/running, by hash
+	cache    *lru            // done/failed, by hash
+	closed   bool
+
+	wg   sync.WaitGroup // running job goroutines
+	runs atomic.Int64   // engine runs actually executed
+
+	// runFn is the engine entry point; tests substitute it to count runs
+	// or inject failures without simulating.
+	runFn func(scenario.Spec) (*scenario.Result, error)
+}
+
+// NewManager builds a Manager.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		inflight: make(map[string]*Job),
+		cache:    newLRU(cfg.CacheSize),
+		runFn:    scenario.Run,
+	}
+}
+
+// Submit registers a spec for execution and returns its job. existing
+// reports whether the submission was absorbed by an in-flight or cached
+// job (no new engine run). The spec is validated and hashed up front, so
+// a bad spec errors here, synchronously.
+func (m *Manager) Submit(spec scenario.Spec) (job *Job, existing bool, err error) {
+	// Strip execution-only fields: the service owns pool sizing and
+	// observation, and the hash ignores them anyway.
+	spec.Workers = 0
+	spec.Trace = nil
+	spec.Progress = nil
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, false, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, fmt.Errorf("service: manager is shut down")
+	}
+	if j, ok := m.inflight[hash]; ok {
+		j.hits.Add(1)
+		return j, true, nil
+	}
+	if j, ok := m.cache.Get(hash); ok {
+		j.hits.Add(1)
+		return j, true, nil
+	}
+
+	j := &Job{
+		Hash:    hash,
+		Spec:    spec,
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	m.inflight[hash] = j
+	m.wg.Add(1)
+	go m.execute(j)
+	return j, false, nil
+}
+
+// SubmitFamily resolves a registered scenario family at a scale (seed
+// optionally overriding the family default) and submits it.
+func (m *Manager) SubmitFamily(name string, scale float64, seed *uint64) (*Job, bool, error) {
+	f, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, false, fmt.Errorf("service: unknown scenario family %q (known: %v)", name, scenario.Names())
+	}
+	spec := f.Spec(scale)
+	if seed != nil {
+		spec.Seed = *seed
+	}
+	return m.Submit(spec)
+}
+
+// execute runs one job on a worker slot.
+func (m *Manager) execute(j *Job) {
+	defer m.wg.Done()
+	m.sem <- struct{}{}
+	defer func() { <-m.sem }()
+
+	j.state.Store(int32(StateRunning))
+	j.started = time.Now()
+	spec := j.Spec
+	spec.Progress = func(done, total int) {
+		j.cellsDone.Store(int64(done))
+		j.cellsTotal.Store(int64(total))
+	}
+	res, err := m.runFn(spec)
+	m.runs.Add(1)
+	j.finished = time.Now()
+	j.elapsed = j.finished.Sub(j.started)
+	if err != nil {
+		j.fperr = err
+		j.state.Store(int32(StateFailed))
+	} else {
+		j.result = res
+		j.fprint = res.Fingerprint()
+		j.state.Store(int32(StateDone))
+	}
+
+	m.mu.Lock()
+	delete(m.inflight, j.Hash)
+	m.cache.Add(j.Hash, j)
+	m.mu.Unlock()
+	close(j.done)
+}
+
+// Job looks a job up by hash, in flight or cached.
+func (m *Manager) Job(hash string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[hash]; ok {
+		return j, true
+	}
+	return m.cache.Get(hash)
+}
+
+// EngineRuns reports how many engine runs the manager has executed —
+// submissions minus dedupe and cache hits.
+func (m *Manager) EngineRuns() int64 { return m.runs.Load() }
+
+// Stats summarizes the manager for the health endpoint.
+type Stats struct {
+	Workers    int   `json:"workers"`
+	CacheSize  int   `json:"cache_size"`
+	Cached     int   `json:"cached"`
+	Inflight   int   `json:"inflight"`
+	EngineRuns int64 `json:"engine_runs"`
+}
+
+// Stats returns current counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Workers:    m.cfg.Workers,
+		CacheSize:  m.cfg.CacheSize,
+		Cached:     m.cache.Len(),
+		Inflight:   len(m.inflight),
+		EngineRuns: m.runs.Load(),
+	}
+}
+
+// Shutdown stops accepting submissions and waits for in-flight jobs to
+// finish, or for the context to expire.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+}

@@ -16,13 +16,20 @@ trap 'rm -f "$TMP"' EXIT
 cd "$(dirname "$0")/.."
 
 run() {
-	# shellcheck disable=SC2086
-	go test -run '^$' -bench "$1" -benchtime=3s -count=1 -benchmem "$2" | grep '^Benchmark' >>"$TMP" || true
+	# A broken benchmark must fail the run, not silently vanish from the
+	# snapshot; only the no-matching-lines grep is tolerated.
+	out="$(go test -run '^$' -bench "$1" -benchtime=3s -count=1 -benchmem "$2")" || {
+		echo "bench failed in $2:" >&2
+		printf '%s\n' "$out" >&2
+		exit 1
+	}
+	printf '%s\n' "$out" | grep '^Benchmark' >>"$TMP" || true
 }
 
 run 'BenchmarkScaleout64Engine$|BenchmarkSimulatedSchedulerThroughput$' .
 run 'BenchmarkEventThroughput$|BenchmarkEngineTypedEvents$|BenchmarkEngineClosureEvents$' ./internal/sim
 run 'BenchmarkDurationConstant$|BenchmarkDurationDVFS$' ./internal/machine
+run 'BenchmarkServiceCacheHit$|BenchmarkServiceColdRun$' ./internal/service
 
 {
 	printf '{\n'

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# smoke_asymd.sh — build asymd, start it on an ephemeral port, hit
+# /v1/healthz, submit a tiny burst-sweep, poll to done and assert the
+# result carries a non-empty fingerprint. Used by CI and runnable locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BIN="${TMPDIR:-/tmp}/asymd-smoke"
+LOG="$(mktemp)"
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+go build -o "$BIN" ./cmd/asymd
+
+"$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+PID=$!
+
+# The daemon logs "asymd listening addr=<host:port>" once bound.
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR="$(sed -n 's/.*asymd listening.*addr=\([0-9.:]*\).*/\1/p' "$LOG" | head -n 1)"
+	[ -n "$ADDR" ] && break
+	kill -0 "$PID" 2>/dev/null || { echo "asymd died:"; cat "$LOG"; exit 1; }
+	sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "asymd never logged its address:"; cat "$LOG"; exit 1; }
+BASE="http://$ADDR"
+echo "asymd up at $BASE"
+
+curl -fsS "$BASE/v1/healthz" | grep -q '"ok": true' || { echo "healthz failed"; exit 1; }
+
+SUBMIT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d '{"family": "burst-sweep", "scale": 0.01}' "$BASE/v1/jobs")"
+JOB="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
+[ -n "$JOB" ] || { echo "no job id in: $SUBMIT"; exit 1; }
+echo "submitted job $JOB"
+
+STATE=""
+for _ in $(seq 1 150); do
+	STATUS="$(curl -fsS "$BASE/v1/jobs/$JOB")"
+	STATE="$(printf '%s' "$STATUS" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+	[ "$STATE" = "done" ] && break
+	[ "$STATE" = "failed" ] && { echo "job failed: $STATUS"; exit 1; }
+	sleep 0.2
+done
+[ "$STATE" = "done" ] || { echo "job stuck in state '$STATE'"; exit 1; }
+
+RESULT="$(curl -fsS "$BASE/v1/results/$JOB")"
+printf '%s' "$RESULT" | grep -q '"fingerprint": "scenario=' \
+	|| { echo "empty or missing fingerprint in: $RESULT"; exit 1; }
+
+# Resubmit: the cache must answer with the finished job (HTTP 200, done).
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+	-d '{"family": "burst-sweep", "scale": 0.01}' "$BASE/v1/jobs")"
+[ "$CODE" = "200" ] || { echo "cached resubmit returned $CODE, want 200"; exit 1; }
+
+echo "asymd smoke OK"

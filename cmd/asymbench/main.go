@@ -32,6 +32,7 @@ func main() {
 		scenName = flag.String("scenario", "", "named scenario family (see -list)")
 		scale    = flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper scale")
 		seed     = flag.Uint64("seed", 42, "base random seed")
+		progress = flag.Bool("progress", false, "report per-cell progress on stderr while a -scenario runs")
 		list     = flag.Bool("list", false, "list experiment ids and scenario families")
 	)
 	flag.Parse()
@@ -67,6 +68,16 @@ func main() {
 		}
 		spec := f.Spec(*scale)
 		spec.Seed = *seed
+		if *progress {
+			// The engine reports (done, total) monotonically, once per
+			// finished (policy × point × rep) cell.
+			spec.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", *scenName, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		start := time.Now()
 		res, err := scenario.Run(spec)
 		if err != nil {

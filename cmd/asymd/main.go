@@ -8,14 +8,23 @@
 //	asymd                          # listen on :8080
 //	asymd -addr 127.0.0.1:0        # ephemeral port (logged at startup)
 //	asymd -workers 4 -cache 256
+//	asymd -peers http://10.0.0.7:8080,http://10.0.0.8:8080
+//
+// Execution is cell-sharded: a submitted grid is planned into per-cell
+// jobs, cached cells are served from the cell-granular LRU, and the
+// misses are batched into shards. With -peers set, shards round-robin
+// over this node's local pool and the peers' POST /v1/shards APIs (with
+// failover), so one daemon fans a large grid out across several.
 //
 // Endpoints (see internal/service):
 //
 //	POST /v1/jobs            submit {"family","scale","seed"} or {"spec":{...}}
-//	GET  /v1/jobs/{id}       job status + progress
+//	GET  /v1/jobs            list known jobs (state, hash, progress)
+//	GET  /v1/jobs/{id}       job status + progress + cell hit/miss counters
 //	GET  /v1/results/{hash}  grid summary + bit-exact fingerprint
-//	GET  /v1/families        registered scenario families
+//	GET  /v1/families        registered scenario families (sorted by name)
 //	GET  /v1/healthz         liveness + counters
+//	POST /v1/shards          worker-facing: execute a batch of plan cells
 //
 // SIGINT/SIGTERM drain in-flight jobs before exit (bounded by -drain).
 package main
@@ -29,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,11 +47,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
-		workers = flag.Int("workers", 0, "concurrent engine runs (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 128, "result cache capacity (finished jobs)")
-		drain   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
-		jsonLog = flag.Bool("json", false, "log JSON instead of text")
+		addr      = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		workers   = flag.Int("workers", 0, "concurrent cell simulations on the local pool (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", 128, "result cache capacity (finished jobs)")
+		cellCache = flag.Int("cellcache", 4096, "cell-result cache capacity (grid cells)")
+		shard     = flag.Int("shard", 16, "max cells per dispatched shard")
+		peers     = flag.String("peers", "", "comma-separated base URLs of peer asymd nodes to farm shards to")
+		shardTO   = flag.Duration("shardtimeout", 10*time.Minute, "max time for one remote shard attempt before failing over (<0 disables)")
+		drain     = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+		jsonLog   = flag.Bool("json", false, "log JSON instead of text")
 	)
 	flag.Parse()
 
@@ -51,7 +65,27 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	mgr := service.NewManager(service.Config{Workers: *workers, CacheSize: *cache})
+	var peerURLs []string
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			logger.Error("peer URL must start with http:// or https://", "peer", p)
+			os.Exit(2)
+		}
+		peerURLs = append(peerURLs, p)
+	}
+
+	mgr := service.NewManager(service.Config{
+		Workers:       *workers,
+		CacheSize:     *cache,
+		CellCacheSize: *cellCache,
+		ShardSize:     *shard,
+		Peers:         peerURLs,
+		ShardTimeout:  *shardTO,
+	})
 
 	// Listen before serving so "-addr :0" resolves to a concrete port we
 	// can log (the smoke test scrapes this line).
@@ -64,7 +98,8 @@ func main() {
 		Handler:           mgr.Handler(logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Info("asymd listening", "addr", ln.Addr().String(), "workers", *workers, "cache", *cache)
+	logger.Info("asymd listening", "addr", ln.Addr().String(), "workers", *workers,
+		"cache", *cache, "cellcache", *cellCache, "shard", *shard, "peers", len(peerURLs))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

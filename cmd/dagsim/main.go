@@ -37,6 +37,7 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "random seed")
 		alpha       = flag.Float64("alpha", 0, "PTT new-sample weight (0 = paper's 1/5)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the schedule to this file")
+		progress    = flag.Bool("progress", false, "report cell progress on stderr while the run executes")
 	)
 	flag.Parse()
 
@@ -91,6 +92,14 @@ func main() {
 		Seed:     *seed,
 		Alpha:    *alpha,
 		Trace:    rec,
+	}
+	if *progress {
+		spec.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rdagsim: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	res, err := scenario.Run(spec)
 	if err != nil {

@@ -140,6 +140,38 @@ type pointJSON struct {
 // the same bytes (see the package comment above for the normalization
 // rules). The encoding round-trips through ParseSpec.
 func (s Spec) CanonicalJSON() ([]byte, error) {
+	sj, err := s.canonicalStruct()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sj)
+}
+
+// cellBase returns the canonical encoding of the cell-invariant spec
+// fields: everything a single cell's metrics depend on that is not the
+// cell's own coordinates. Name, Policies, Points, Seed and Reps are zeroed
+// out — the policy, the point parameters and the derived seed are hashed
+// per cell instead — so two specs that differ only in their grid axes (an
+// extra sweep point, a reordered policy list, a different name) share the
+// base, and therefore share the cell hashes of their common cells. That
+// sharing is what makes the service's cell cache reuse work across
+// overlapping specs.
+func (s Spec) cellBase() ([]byte, error) {
+	sj, err := s.canonicalStruct()
+	if err != nil {
+		return nil, err
+	}
+	sj.Name = ""
+	sj.Policies = nil
+	sj.Points = nil
+	sj.Seed = 0
+	sj.Reps = 0
+	return json.Marshal(sj)
+}
+
+// canonicalStruct builds the normalized wire struct both CanonicalJSON and
+// cellBase marshal.
+func (s Spec) canonicalStruct() (specJSON, error) {
 	s = s.withDefaults()
 	sj := specJSON{
 		Name:      s.Name,
@@ -193,7 +225,7 @@ func (s Spec) CanonicalJSON() ([]byte, error) {
 			Cols:          cfg.Cols,
 		}
 	default:
-		return nil, fmt.Errorf("scenario: cannot encode unknown workload kind %v", s.Workload.Kind)
+		return specJSON{}, fmt.Errorf("scenario: cannot encode unknown workload kind %v", s.Workload.Kind)
 	}
 
 	if len(s.Disturb) > 0 {
@@ -225,7 +257,7 @@ func (s Spec) CanonicalJSON() ([]byte, error) {
 	sj.Policies = make([]string, len(s.Policies))
 	for i, p := range s.Policies {
 		if p == nil {
-			return nil, fmt.Errorf("scenario: cannot encode nil policy")
+			return specJSON{}, fmt.Errorf("scenario: cannot encode nil policy")
 		}
 		sj.Policies[i] = p.Name()
 	}
@@ -235,7 +267,7 @@ func (s Spec) CanonicalJSON() ([]byte, error) {
 		sj.Points[i] = pointJSON(pt)
 	}
 
-	return json.Marshal(sj)
+	return sj, nil
 }
 
 // Hash returns the sha256 of the canonical JSON encoding, hex-encoded.

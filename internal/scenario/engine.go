@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"dynasym/internal/core"
 	"dynasym/internal/dag"
@@ -30,76 +29,44 @@ const nodeSeedStride = 1009
 // Run validates the spec and executes the full (policy × point × rep) grid
 // on a bounded worker pool. Every cell runs on private state seeded only by
 // the spec, so the result is deterministic regardless of pool interleaving.
+// Run is Plan → RunCell (pooled) → Merge; callers that want to schedule,
+// distribute or cache individual cells use those pieces directly.
 func Run(s Spec) (*Result, error) {
-	s = s.withDefaults()
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	topo, err := s.Platform.Build()
+	p, err := NewPlan(s)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Name:     s.Name,
-		Topo:     topo,
-		Policies: make([]string, len(s.Policies)),
-		Points:   append([]Point(nil), s.Points...),
-		Cells:    make([][]Cell, len(s.Policies)),
-	}
-	for pi, pol := range s.Policies {
-		res.Policies[pi] = pol.Name()
-		res.Cells[pi] = make([]Cell, len(s.Points))
-		for xi, pt := range s.Points {
-			res.Cells[pi][xi] = Cell{Policy: pol.Name(), Point: pt, Runs: make([]RunMetrics, s.Reps)}
-		}
-	}
-
-	type job struct{ pi, xi, rep int }
-	jobs := make([]job, 0, len(s.Policies)*len(s.Points)*s.Reps)
-	for pi := range s.Policies {
-		for xi := range s.Points {
-			for rep := 0; rep < s.Reps; rep++ {
-				jobs = append(jobs, job{pi, xi, rep})
-			}
-		}
-	}
-	workers := s.Workers
+	spec := p.Spec
+	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(p.Cells) {
+		workers = len(p.Cells)
 	}
-	errs := make([]error, len(jobs))
-	if s.Progress != nil {
-		s.Progress(0, len(jobs))
-	}
-	var completed atomic.Int64
+	results := make([]RunMetrics, len(p.Cells))
+	errs := make([]error, len(p.Cells))
+	prog := newProgress(spec.Progress, len(p.Cells))
 	ch := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ji := range ch {
-				j := jobs[ji]
-				seed := s.Seed + uint64(j.rep)*repSeedStride
-				rm, err := runCell(s, s.Policies[j.pi], s.Points[j.xi], seed)
+			for ci := range ch {
+				c := p.Cells[ci]
+				rm, err := p.RunCell(c)
 				if err != nil {
-					errs[ji] = fmt.Errorf("scenario %q: %s at %s (rep %d): %w",
-						s.Name, res.Policies[j.pi], s.Points[j.xi].Label, j.rep, err)
+					errs[ci] = fmt.Errorf("scenario %q: %s: %w", spec.Name, p.CellLabel(c), err)
 				} else {
-					rm.Seed = seed
-					res.Cells[j.pi][j.xi].Runs[j.rep] = rm
+					results[ci] = rm
 				}
-				if s.Progress != nil {
-					s.Progress(int(completed.Add(1)), len(jobs))
-				}
+				prog.cellDone()
 			}
 		}()
 	}
-	for ji := range jobs {
-		ch <- ji
+	for ci := range p.Cells {
+		ch <- ci
 	}
 	close(ch)
 	wg.Wait()
@@ -108,7 +75,43 @@ func Run(s Spec) (*Result, error) {
 			return nil, err
 		}
 	}
-	return res, nil
+	byHash := make(map[string]RunMetrics, len(p.Cells))
+	for i, c := range p.Cells {
+		byHash[c.Hash] = results[i]
+	}
+	return Merge(p, byHash)
+}
+
+// progressReporter serializes Progress-hook invocations so the hook
+// observes a strictly monotonic done count even though cells finish on
+// concurrent workers. (An atomic counter alone is not enough: two workers
+// can increment in one order and invoke the hook in the other.)
+type progressReporter struct {
+	fn    func(done, total int)
+	total int
+	mu    sync.Mutex
+	done  int
+}
+
+// newProgress reports (0, total) up front, like Run always has.
+func newProgress(fn func(done, total int), total int) *progressReporter {
+	pr := &progressReporter{fn: fn, total: total}
+	if fn != nil {
+		fn(0, total)
+	}
+	return pr
+}
+
+// cellDone records one finished cell and reports it. The hook runs under
+// the reporter's lock, so it must not block for long.
+func (pr *progressReporter) cellDone() {
+	if pr.fn == nil {
+		return
+	}
+	pr.mu.Lock()
+	pr.done++
+	pr.fn(pr.done, pr.total)
+	pr.mu.Unlock()
 }
 
 // MustRun is Run but panics on error; intended for spec tables whose specs

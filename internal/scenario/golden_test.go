@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"testing"
+
+	"dynasym/internal/core"
+	"dynasym/internal/workloads"
+)
+
+// TestSpecHashGoldenVectors pins Spec.Hash to literal sha256 strings for
+// representative specs. These hashes are the service's cache keys and job
+// IDs: every deployed asymd node and every persisted result is keyed by
+// them. A failure here means a refactor changed the canonical encoding —
+// which silently invalidates (or worse, aliases) every existing cache
+// entry. Do not update the literals without meaning to break the key
+// space.
+func TestSpecHashGoldenVectors(t *testing.T) {
+	vectors := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{
+			// Everything defaulted: locks withDefaults + the workload's
+			// own Defaults() into the encoding.
+			name: "defaults",
+			spec: Spec{
+				Workload: WorkloadSpec{Kind: Synthetic},
+				Policies: []core.Policy{core.DAMC()},
+				Seed:     42,
+			},
+			want: "38554b62b8f1d37bcde6a8d3977b11438dc0ce86e0e80af14b29bc38cc0bc465",
+		},
+		{
+			// Sampled policy wrapper ("DAM-C~8"), multi-point sweep,
+			// repetitions, a disturbance, scale-out platform.
+			name: "sampled",
+			spec: Spec{
+				Name:     "golden-sampled",
+				Platform: PlatformSpec{Preset: "scaleout-4x4"},
+				Workload: WorkloadSpec{Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+					Kernel: workloads.Stencil, Tasks: 1200,
+				}},
+				Disturb:  []Disturbance{{Kind: Burst, Cluster: 1, Share: 0.5, BusyDur: 0.2, IdleDur: 0.4}},
+				Policies: []core.Policy{core.RWS(), core.NewSampled(core.DAMC(), 8)},
+				Points:   ParallelismPoints(8, 16),
+				Reps:     2,
+				Seed:     7,
+			},
+			want: "0a678b63098999bfe4b387ce9c41ef4d58a11cc0513a809e6623394c1e57e4c0",
+		},
+		{
+			// KMeans: only the active workload's config may be encoded.
+			name: "kmeans",
+			spec: Spec{
+				Name:     "golden-kmeans",
+				Workload: WorkloadSpec{Kind: KMeans, KMeans: workloads.KMeansConfig{K: 8, MaxIters: 4}},
+				Policies: []core.Policy{core.DAMP()},
+				Seed:     42,
+			},
+			want: "d47f6cac58234cde6501d2b6f8c77bacbdfa4394d775f7b18dc1dda75b13cf04",
+		},
+		{
+			// Distributed heat with a windowed throttle on node 1 (the
+			// implicit ramp-steps default is part of the key).
+			name: "heat",
+			spec: Spec{
+				Name:     "golden-heat",
+				Platform: PlatformSpec{Preset: "haswell-node"},
+				Workload: WorkloadSpec{Kind: HeatDist, Heat: workloads.HeatDistConfig{Nodes: 2, Iters: 6}},
+				Disturb:  []Disturbance{{Kind: Throttle, Node: 1, Cluster: 0, From: 1, To: 3, Floor: 0.5}},
+				Policies: []core.Policy{core.DAMC()},
+				Seed:     11,
+			},
+			want: "bbd79ec42b787606b309365d7c6338870eae143cd62031c7593b0d4aa8ea8985",
+		},
+	}
+	for _, v := range vectors {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			got, err := v.spec.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != v.want {
+				cj, _ := v.spec.CanonicalJSON()
+				t.Errorf("Spec.Hash = %s, want %s\ncanonical encoding changed to: %s", got, v.want, cj)
+			}
+		})
+	}
+}

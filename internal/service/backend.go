@@ -1,0 +1,83 @@
+package service
+
+// Backends execute cell shards. The manager plans a submitted spec into
+// cell jobs (internal/scenario Plan), batches the uncached cells into
+// shards, and hands each shard to a backend; a shard that fails on one
+// backend is retried on the others. Two implementations exist: the
+// in-process bounded pool below, and the remote peer backend (remote.go)
+// that farms shards to another asymd node over POST /v1/shards.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dynasym/internal/scenario"
+)
+
+// CellResult is one cell's outcome. Err carries a deterministic engine
+// error (the cell itself is invalid or failed); such errors fail the job
+// and are never retried — rerunning a deterministic failure elsewhere
+// produces the same failure. Transport-level problems are reported as
+// Execute's error instead, and those ARE retried on another backend.
+type CellResult struct {
+	Hash    string
+	Metrics scenario.RunMetrics
+	Err     error
+}
+
+// Backend executes a batch of cells from one plan.
+type Backend interface {
+	// Name identifies the backend in errors, logs and stats.
+	Name() string
+	// Execute runs the cells and returns one result per cell, in order.
+	// A non-nil error means the backend itself failed (pool shut down,
+	// peer unreachable, ...) and the whole shard may be retried elsewhere;
+	// per-cell engine errors go into CellResult.Err.
+	Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error)
+}
+
+// localBackend runs cells in process on a bounded worker pool. The pool is
+// shared across all jobs and shard requests served by this node, so total
+// simulation concurrency stays bounded no matter how many jobs are in
+// flight.
+type localBackend struct {
+	sem chan struct{}
+	// cellRuns counts cells actually simulated (the cache-miss work).
+	cellRuns atomic.Int64
+	// runCell is the engine entry point; tests substitute it to count
+	// runs or inject failures without simulating.
+	runCell func(*scenario.Plan, scenario.CellJob) (scenario.RunMetrics, error)
+}
+
+func newLocalBackend(workers int) *localBackend {
+	return &localBackend{
+		sem:     make(chan struct{}, workers),
+		runCell: (*scenario.Plan).RunCell,
+	}
+}
+
+func (b *localBackend) Name() string { return "local" }
+
+func (b *localBackend) Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error) {
+	out := make([]CellResult, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		select {
+		case b.sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int, c scenario.CellJob) {
+			defer wg.Done()
+			defer func() { <-b.sem }()
+			b.cellRuns.Add(1)
+			rm, err := b.runCell(plan, c)
+			out[i] = CellResult{Hash: c.Hash, Metrics: rm, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	return out, nil
+}

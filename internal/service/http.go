@@ -6,14 +6,24 @@ package service
 //	                         or {"spec": {...canonical spec JSON...}}
 //	                         → 202 Status (200 when absorbed by an
 //	                         in-flight or cached job)
+//	GET  /v1/jobs            → 200 [Status] (in-flight first, then cached)
 //	GET  /v1/jobs/{id}       → 200 Status
 //	GET  /v1/results/{hash}  → 200 Result (409 while still running)
-//	GET  /v1/families        → 200 [{name, desc}]
+//	GET  /v1/families        → 200 [{name, desc}], sorted by name
 //	GET  /v1/healthz         → 200 {ok, stats}
+//	POST /v1/shards          worker-facing: run a batch of plan cells
+//	                         {"spec": {...}, "cells": [{policy,point,rep,hash}]}
+//	                         → 200 {"results": [{hash, metrics|error}]}
 //
 // Job IDs are spec hashes, so the jobs and results namespaces share keys:
 // submit returns the ID, poll /v1/jobs/{id} until "done", then fetch
 // /v1/results/{id}.
+//
+// /v1/shards is how one asymd node farms work to another (-peers): the
+// coordinator ships the canonical spec plus cell coordinates, the worker
+// re-plans it, verifies the cell hashes (rejecting version skew with 409),
+// serves what its own cell cache holds and simulates the rest on its local
+// pool.
 
 import (
 	"encoding/json"
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"time"
 
 	"dynasym/internal/scenario"
@@ -68,8 +79,10 @@ func (m *Manager) Handler(logger *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /v1/healthz", m.handleHealthz)
 	mux.HandleFunc("GET /v1/families", m.handleFamilies)
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", m.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleJob)
 	mux.HandleFunc("GET /v1/results/{hash}", m.handleResult)
+	mux.HandleFunc("POST /v1/shards", m.handleShards)
 	return logRequests(logger, mux)
 }
 
@@ -87,7 +100,14 @@ func (m *Manager) handleFamilies(w http.ResponseWriter, r *http.Request) {
 		f, _ := scenario.Lookup(n)
 		out = append(out, FamilyInfo{Name: f.Name, Desc: f.Desc})
 	}
+	// Names() already sorts, but the stable-response contract belongs to
+	// this endpoint — keep it even if the registry's ordering changes.
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Manager) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.Jobs())
 }
 
 func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -173,6 +193,97 @@ func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: fprint,
 		ElapsedSec:  elapsed.Seconds(),
 	})
+}
+
+// handleShards serves the worker side of the shard API: re-plan the
+// shipped spec, verify the requested cells against the local derivation,
+// serve cached cells and simulate the rest on the local pool. Hash
+// disagreement means the peer runs a different canonical encoding or
+// engine — refuse with 409 rather than return results under keys the
+// coordinator will misfile.
+func (m *Manager) handleShards(w http.ResponseWriter, r *http.Request) {
+	var req shardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxShardBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode shard request: %w", err))
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("shard has no cells"))
+		return
+	}
+	spec, err := scenario.ParseSpec(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specHash, err := spec.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := m.planFor(specHash, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells := make([]scenario.CellJob, len(req.Cells))
+	for i, sc := range req.Cells {
+		c, err := plan.Cell(sc.Policy, sc.Point, sc.Rep)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if sc.Hash != c.Hash {
+			writeError(w, http.StatusConflict, fmt.Errorf(
+				"cell (%d,%d,%d) hashes to %.12s here, coordinator says %.12s (version skew?)",
+				sc.Policy, sc.Point, sc.Rep, c.Hash, sc.Hash))
+			return
+		}
+		cells[i] = c
+	}
+
+	cached, missing := m.probeCells(cells)
+	executed := make(map[string]CellResult, len(missing))
+	if len(missing) > 0 {
+		crs, err := m.local.Execute(r.Context(), plan, missing)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		m.bankCells(crs)
+		// Counters move only once the shard is actually served: a shard
+		// the pool never ran (canceled request, pool error) is retried by
+		// the coordinator on another backend and must not be counted
+		// twice — for misses or for hits.
+		m.cellMisses.Add(int64(len(crs)))
+		for _, cr := range crs {
+			executed[cr.Hash] = cr
+		}
+	}
+	results := make([]shardCellResult, len(cells))
+	var hits int64
+	for i, c := range cells {
+		if rm, ok := cached[c.Hash]; ok {
+			rm := rm
+			results[i] = shardCellResult{Hash: c.Hash, Metrics: &rm}
+			hits++
+		} else if cr, ok := executed[c.Hash]; ok {
+			if cr.Err != nil {
+				results[i] = shardCellResult{Hash: c.Hash, Error: cr.Err.Error()}
+			} else {
+				rm := cr.Metrics
+				results[i] = shardCellResult{Hash: c.Hash, Metrics: &rm}
+			}
+		} else {
+			// Unreachable: every requested cell is cached or executed.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("cell %.12s neither cached nor executed", c.Hash))
+			return
+		}
+	}
+	m.cellHits.Add(hits)
+	writeJSON(w, http.StatusOK, shardResponse{Results: results})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -264,6 +264,95 @@ func TestHTTPHealthzAndFamilies(t *testing.T) {
 	}
 }
 
+// TestHTTPJobsList covers GET /v1/jobs: every submitted job appears with
+// state, hash and progress, in-flight entries before finished ones.
+func TestHTTPJobsList(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2, CacheSize: 8})
+	var ids []string
+	for _, seed := range []uint64{41, 42} {
+		sj, err := tinySpec(seed).CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, code := postJob(t, srv.URL, fmt.Sprintf(`{"spec": %s}`, sj))
+		if code != http.StatusAccepted {
+			t.Fatalf("POST: status %d", code)
+		}
+		ids = append(ids, st.ID)
+		pollDone(t, srv.URL, st.ID)
+	}
+	var list []Status
+	if code := getJSON(t, srv.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs: status %d", code)
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("listing has %d jobs, want %d", len(list), len(ids))
+	}
+	seen := map[string]bool{}
+	for _, st := range list {
+		seen[st.ID] = true
+		if st.State != "done" {
+			t.Errorf("job %s listed as %q, want done", st.ID, st.State)
+		}
+		if st.CellsTotal == 0 || st.CellsDone != st.CellsTotal {
+			t.Errorf("job %s listed with progress %d/%d", st.ID, st.CellsDone, st.CellsTotal)
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("job %s missing from listing", id)
+		}
+	}
+}
+
+// TestHTTPFamiliesSorted pins the stable-response contract: families come
+// back sorted by name.
+func TestHTTPFamiliesSorted(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	var fams []FamilyInfo
+	if code := getJSON(t, srv.URL+"/v1/families", &fams); code != http.StatusOK {
+		t.Fatalf("families status %d", code)
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1].Name >= fams[i].Name {
+			t.Fatalf("families out of order: %q before %q", fams[i-1].Name, fams[i].Name)
+		}
+	}
+}
+
+// TestHTTPShardErrors covers the worker-facing endpoint's refusal paths.
+func TestHTTPShardErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	sj, err := tinySpec(51).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/shards", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"not json":      {`hello`, http.StatusBadRequest},
+		"no cells":      {fmt.Sprintf(`{"spec": %s, "cells": []}`, sj), http.StatusBadRequest},
+		"bad spec":      {`{"spec": {"workload": {"kind": "synthetic"}, "policies": []}, "cells": [{"policy":0,"point":0,"rep":0,"hash":"x"}]}`, http.StatusBadRequest},
+		"out of grid":   {fmt.Sprintf(`{"spec": %s, "cells": [{"policy":9,"point":0,"rep":0,"hash":"x"}]}`, sj), http.StatusBadRequest},
+		"hash mismatch": {fmt.Sprintf(`{"spec": %s, "cells": [{"policy":0,"point":0,"rep":0,"hash":"deadbeef"}]}`, sj), http.StatusConflict},
+	} {
+		if code := post(tc.body); code != tc.want {
+			t.Errorf("%s: status %d, want %d", name, code, tc.want)
+		}
+	}
+}
+
 // TestRequestLogging checks the middleware emits structured lines.
 func TestRequestLogging(t *testing.T) {
 	m := NewManager(Config{})

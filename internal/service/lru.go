@@ -2,51 +2,69 @@ package service
 
 import "container/list"
 
-// lru is a non-thread-safe least-recently-used map from spec hash to
-// finished job; callers hold the manager lock. Get promotes, Add inserts
-// at the front and evicts from the back past capacity.
-type lru struct {
+// lruEntry pairs a cache key with its value inside the recency list.
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// lruCache is a non-thread-safe least-recently-used map from string key to
+// V; callers hold the manager lock. Get promotes, Add inserts at the front
+// and evicts from the back past capacity. The manager keeps two instances:
+// finished jobs by spec hash, and cell results by cell hash.
+type lruCache[V any] struct {
 	cap   int
-	order *list.List               // front = most recent; values are *Job
-	byKey map[string]*list.Element // hash → element
+	order *list.List               // front = most recent; values are lruEntry[V]
+	byKey map[string]*list.Element // key → element
 }
 
-func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element, capacity)}
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element, capacity)}
 }
 
-func (c *lru) Get(key string) (*Job, bool) {
+func (c *lruCache[V]) Get(key string) (V, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*Job), true
+	return el.Value.(lruEntry[V]).val, true
 }
 
-func (c *lru) Add(key string, j *Job) {
+// Peek returns the value without promoting it — for read-only listings
+// that must not perturb eviction order.
+func (c *lruCache[V]) Peek(key string) (V, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return el.Value.(lruEntry[V]).val, true
+}
+
+func (c *lruCache[V]) Add(key string, v V) {
 	if el, ok := c.byKey[key]; ok {
-		el.Value = j
+		el.Value = lruEntry[V]{key: key, val: v}
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(j)
+	c.byKey[key] = c.order.PushFront(lruEntry[V]{key: key, val: v})
 	for c.order.Len() > c.cap {
 		back := c.order.Back()
-		evicted := back.Value.(*Job)
 		c.order.Remove(back)
-		delete(c.byKey, evicted.Hash)
+		delete(c.byKey, back.Value.(lruEntry[V]).key)
 	}
 }
 
-func (c *lru) Len() int { return c.order.Len() }
+func (c *lruCache[V]) Len() int { return c.order.Len() }
 
-// Keys returns the hashes from most to least recently used (for tests and
-// the health endpoint).
-func (c *lru) Keys() []string {
+// Keys returns the keys from most to least recently used (for tests and
+// the jobs listing).
+func (c *lruCache[V]) Keys() []string {
 	out := make([]string, 0, c.order.Len())
 	for el := c.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*Job).Hash)
+		out = append(out, el.Value.(lruEntry[V]).key)
 	}
 	return out
 }

@@ -1,0 +1,139 @@
+package service
+
+// Remote backend: farms cell shards to a peer asymd node over its
+// internal POST /v1/shards API (served by Manager.Handler, see http.go).
+//
+// The wire format ships the plan's canonical spec JSON plus each cell's
+// grid coordinates and expected hash. The worker re-plans the spec —
+// re-deriving the same cells from the same canonical encoding — and
+// verifies the hashes match before running anything, so a version-skewed
+// peer refuses the shard instead of silently producing results under the
+// wrong key. The check catches both encoding skew (the re-derived base
+// differs) and engine skew (scenario.cellHashVersion, baked into every
+// cell hash, must be bumped when engine behavior changes). Metrics cross
+// the wire as plain JSON: Go encodes float64 with the shortest
+// representation that round-trips exactly, so merged fingerprints stay
+// bit-identical to an in-process run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"dynasym/internal/scenario"
+)
+
+// shardRequest is the POST /v1/shards body.
+type shardRequest struct {
+	// Spec is the plan's canonical spec encoding.
+	Spec json.RawMessage `json:"spec"`
+	// Cells are the shard's cells by grid coordinates. Hash is the
+	// coordinator's cell hash; the worker rejects the shard if its own
+	// derivation disagrees.
+	Cells []shardCell `json:"cells"`
+}
+
+type shardCell struct {
+	Policy int    `json:"policy"`
+	Point  int    `json:"point"`
+	Rep    int    `json:"rep"`
+	Hash   string `json:"hash"`
+}
+
+// shardResponse is the POST /v1/shards reply: one entry per requested
+// cell, in request order.
+type shardResponse struct {
+	Results []shardCellResult `json:"results"`
+}
+
+type shardCellResult struct {
+	Hash    string               `json:"hash"`
+	Metrics *scenario.RunMetrics `json:"metrics,omitempty"`
+	Error   string               `json:"error,omitempty"`
+}
+
+// maxShardBytes bounds a shard request or response document. Shards carry
+// full metric sets (per-core busy times, histograms, per-iteration stats),
+// so the bound is well above maxSpecBytes.
+const maxShardBytes = 64 << 20
+
+// remoteBackend executes shards on one peer asymd node.
+type remoteBackend struct {
+	url    string // peer base URL, no trailing slash
+	client *http.Client
+}
+
+// NewRemoteBackend returns a Backend that runs shards on the asymd node at
+// baseURL (e.g. "http://10.0.0.7:8080"). Simulations can be long, so the
+// client has no overall timeout — the dispatcher bounds each attempt with
+// Config.ShardTimeout via the request context — but connecting gets its
+// own short timeout so an unroutable peer fails over fast.
+func NewRemoteBackend(baseURL string) Backend {
+	return &remoteBackend{
+		url: strings.TrimRight(baseURL, "/"),
+		client: &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+		}},
+	}
+}
+
+func (r *remoteBackend) Name() string { return "peer " + r.url }
+
+func (r *remoteBackend) Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error) {
+	specJSON, err := plan.Spec.CanonicalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("encode spec: %w", err)
+	}
+	req := shardRequest{Spec: specJSON, Cells: make([]shardCell, len(cells))}
+	for i, c := range cells {
+		req.Cells[i] = shardCell{Policy: c.Policy, Point: c.Point, Rep: c.Rep, Hash: c.Hash}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode shard: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("post shard: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("shard rejected: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var sr shardResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxShardBytes)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decode shard response: %w", err)
+	}
+	if len(sr.Results) != len(cells) {
+		return nil, fmt.Errorf("shard response has %d results for %d cells", len(sr.Results), len(cells))
+	}
+	out := make([]CellResult, len(cells))
+	for i, cr := range sr.Results {
+		if cr.Hash != cells[i].Hash {
+			return nil, fmt.Errorf("shard result %d carries hash %.12s, want %.12s", i, cr.Hash, cells[i].Hash)
+		}
+		out[i] = CellResult{Hash: cr.Hash}
+		switch {
+		case cr.Error != "":
+			out[i].Err = errors.New(cr.Error)
+		case cr.Metrics == nil:
+			return nil, fmt.Errorf("shard result %d has neither metrics nor error", i)
+		default:
+			out[i].Metrics = *cr.Metrics
+		}
+	}
+	return out, nil
+}

@@ -11,14 +11,25 @@
 // The scenario engine is deterministic (same spec → bit-identical
 // fingerprint), which is what makes memoization sound.
 //
+// Execution is cell-sharded: a job's spec is planned into (policy × point
+// × repetition) cell jobs (scenario.NewPlan), each carrying a canonical
+// cell hash. Cells already in the cell-granular LRU are served from cache;
+// the misses are batched into shards and dispatched across the configured
+// backends (the in-process pool, plus one remote backend per -peers
+// entry), with failed shards retried on another backend. Because cell
+// hashes ignore the spec's grid axes, two overlapping specs — a sweep and
+// the same sweep with one extra point — share cells, and a resubmission
+// with a small delta simulates only the delta.
+//
 // cmd/asymd wraps Manager.Handler in an HTTP daemon; see http.go for the
-// wire API.
+// wire API (including the worker-facing POST /v1/shards).
 package service
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +83,10 @@ type Job struct {
 
 	cellsDone  atomic.Int64
 	cellsTotal atomic.Int64
+	// cellHits and cellMisses count this job's grid cells served from the
+	// cell cache vs actually dispatched to a backend.
+	cellHits   atomic.Int64
+	cellMisses atomic.Int64
 	// hits counts submissions served by this job after its first (in
 	// flight or from cache) — the dedupe/cache-hit counter.
 	hits atomic.Int64
@@ -123,6 +138,8 @@ type Status struct {
 	State      string  `json:"state"`
 	CellsDone  int64   `json:"cells_done"`
 	CellsTotal int64   `json:"cells_total"`
+	CellHits   int64   `json:"cell_hits"`
+	CellMisses int64   `json:"cell_misses"`
 	CacheHits  int64   `json:"cache_hits"`
 	Error      string  `json:"error,omitempty"`
 	CreatedAt  string  `json:"created_at"`
@@ -137,6 +154,8 @@ func (j *Job) Snapshot() Status {
 		State:      j.State().String(),
 		CellsDone:  j.cellsDone.Load(),
 		CellsTotal: j.cellsTotal.Load(),
+		CellHits:   j.cellHits.Load(),
+		CellMisses: j.cellMisses.Load(),
 		CacheHits:  j.hits.Load(),
 		CreatedAt:  j.created.UTC().Format(time.RFC3339Nano),
 	}
@@ -152,10 +171,25 @@ func (j *Job) Snapshot() Status {
 
 // Config sizes a Manager.
 type Config struct {
-	// Workers bounds concurrent engine runs (default GOMAXPROCS).
+	// Workers bounds concurrent cell simulations on the local backend
+	// (default GOMAXPROCS).
 	Workers int
 	// CacheSize bounds the finished-job LRU (default 128 entries).
 	CacheSize int
+	// CellCacheSize bounds the cell-result LRU (default 4096 cells).
+	CellCacheSize int
+	// ShardSize bounds the cells per dispatched shard (default 16).
+	ShardSize int
+	// Peers lists base URLs of other asymd nodes to farm shards to
+	// (cmd/asymd -peers). Each peer becomes a remote backend; the local
+	// pool always remains the first backend.
+	Peers []string
+	// ShardTimeout bounds one remote shard attempt (default 10 minutes;
+	// < 0 disables). Without it a wedged-but-connected peer would hang a
+	// shard forever and failover could never trigger. It applies only to
+	// non-local backends: the in-process pool cannot wedge, and long
+	// paper-scale cells must not be killed mid-simulation.
+	ShardTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -165,36 +199,62 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 128
 	}
+	if c.CellCacheSize <= 0 {
+		c.CellCacheSize = 4096
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = 16
+	}
+	if c.ShardTimeout == 0 {
+		c.ShardTimeout = 10 * time.Minute
+	}
 	return c
 }
 
-// Manager owns the job table, the worker pool and the result cache.
+// Manager owns the job table, the backends and the result caches.
 type Manager struct {
 	cfg Config
-	sem chan struct{} // worker slots
+	sem chan struct{} // job admission slots (Workers); holds jobs in queued
+
+	// local is the in-process backend; backends lists it first, then one
+	// remote backend per configured peer. Shards round-robin over
+	// backends and fail over to the others.
+	local    *localBackend
+	backends []Backend
 
 	mu       sync.Mutex
-	inflight map[string]*Job // queued/running, by hash
-	cache    *lru            // done/failed, by hash
+	inflight map[string]*Job                // queued/running, by spec hash
+	cache    *lruCache[*Job]                // done/failed jobs, by spec hash
+	cells    *lruCache[scenario.RunMetrics] // finished cells, by cell hash
+	pending  map[string]*pendingCell        // cells being simulated, by cell hash
+	plans    *lruCache[*scenario.Plan]      // memoized plans, by spec hash (shard API)
 	closed   bool
 
 	wg   sync.WaitGroup // running job goroutines
-	runs atomic.Int64   // engine runs actually executed
+	runs atomic.Int64   // jobs actually executed (not absorbed)
 
-	// runFn is the engine entry point; tests substitute it to count runs
-	// or inject failures without simulating.
-	runFn func(scenario.Spec) (*scenario.Result, error)
+	cellHits   atomic.Int64 // cells served from the cell cache
+	cellMisses atomic.Int64 // cells dispatched to a backend
 }
 
 // NewManager builds a Manager.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+	local := newLocalBackend(cfg.Workers)
+	backends := []Backend{local}
+	for _, peer := range cfg.Peers {
+		backends = append(backends, NewRemoteBackend(peer))
+	}
 	return &Manager{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
+		local:    local,
+		backends: backends,
 		inflight: make(map[string]*Job),
-		cache:    newLRU(cfg.CacheSize),
-		runFn:    scenario.Run,
+		cache:    newLRUCache[*Job](cfg.CacheSize),
+		cells:    newLRUCache[scenario.RunMetrics](cfg.CellCacheSize),
+		pending:  make(map[string]*pendingCell),
+		plans:    newLRUCache[*scenario.Plan](planCacheSize),
 	}
 }
 
@@ -256,7 +316,9 @@ func (m *Manager) SubmitFamily(name string, scale float64, seed *uint64) (*Job, 
 	return m.Submit(spec)
 }
 
-// execute runs one job on a worker slot.
+// execute runs one job: plan, serve cells from cache, dispatch the
+// misses, merge. The admission semaphore bounds concurrently executing
+// jobs to Workers — excess submissions wait here, observably queued.
 func (m *Manager) execute(j *Job) {
 	defer m.wg.Done()
 	m.sem <- struct{}{}
@@ -264,12 +326,7 @@ func (m *Manager) execute(j *Job) {
 
 	j.state.Store(int32(StateRunning))
 	j.started = time.Now()
-	spec := j.Spec
-	spec.Progress = func(done, total int) {
-		j.cellsDone.Store(int64(done))
-		j.cellsTotal.Store(int64(total))
-	}
-	res, err := m.runFn(spec)
+	res, err := m.runJob(context.Background(), j)
 	m.runs.Add(1)
 	j.finished = time.Now()
 	j.elapsed = j.finished.Sub(j.started)
@@ -289,6 +346,330 @@ func (m *Manager) execute(j *Job) {
 	close(j.done)
 }
 
+// pendingCell is one cell currently being simulated by some job. Other
+// jobs needing the same cell subscribe to done instead of re-simulating;
+// rm/ok are written before done closes. ok=false means the owner
+// abandoned the cell (its dispatch failed or was canceled) — subscribers
+// fall back to dispatching it themselves.
+type pendingCell struct {
+	owner *Job
+	done  chan struct{}
+	rm    scenario.RunMetrics
+	ok    bool
+}
+
+// planCacheSize bounds the memoized-plan LRU used by the shard API: a
+// worker re-planning a 10k-cell grid per 16-cell shard request would
+// hash the whole grid hundreds of times per job.
+const planCacheSize = 64
+
+// runJob assembles one job's result from cached cells, cells another job
+// is already simulating (in-flight dedupe), and freshly dispatched cells.
+func (m *Manager) runJob(ctx context.Context, j *Job) (*scenario.Result, error) {
+	plan, err := m.planFor(j.Hash, j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	j.cellsTotal.Store(int64(len(plan.Cells)))
+
+	// Dedupe the grid by cell hash (points with identical parameters under
+	// different labels share one simulation). mult counts grid positions
+	// per unique hash, so progress advances over plan cells, not unique
+	// cells.
+	mult := make(map[string]int64, len(plan.Cells))
+	byHash := make(map[string]scenario.CellJob, len(plan.Cells))
+	for _, c := range plan.Cells {
+		mult[c.Hash]++
+		byHash[c.Hash] = c
+	}
+
+	// One pass under the lock: serve the cell cache, subscribe to cells
+	// some other job is already simulating, claim the rest.
+	results := make(map[string]scenario.RunMetrics, len(mult))
+	waits := make(map[string]*pendingCell)
+	claimedSet := make(map[string]bool)
+	var claimed []scenario.CellJob
+	m.mu.Lock()
+	for _, c := range plan.Cells {
+		if _, dup := results[c.Hash]; dup {
+			continue
+		}
+		if _, dup := waits[c.Hash]; dup {
+			continue
+		}
+		// Skip hashes this job already claimed: without this, the second
+		// occurrence of a duplicate-hash cell would find our own fresh
+		// pending entry and self-subscribe, double-counting the cell as
+		// both a miss and a hit.
+		if claimedSet[c.Hash] {
+			continue
+		}
+		if rm, ok := m.cells.Get(c.Hash); ok {
+			results[c.Hash] = rm
+			continue
+		}
+		if p, ok := m.pending[c.Hash]; ok {
+			waits[c.Hash] = p
+			continue
+		}
+		claimed = append(claimed, c)
+		claimedSet[c.Hash] = true
+		m.pending[c.Hash] = &pendingCell{owner: j, done: make(chan struct{})}
+	}
+	m.mu.Unlock()
+
+	// Whatever happens below, claimed cells this job never resolved
+	// (dispatch error, per-cell failure, early cancel) must be released
+	// so subscribers fall back instead of waiting forever.
+	defer func() {
+		m.mu.Lock()
+		var abandoned []*pendingCell
+		for _, c := range claimed {
+			if p, ok := m.pending[c.Hash]; ok && p.owner == j {
+				delete(m.pending, c.Hash)
+				abandoned = append(abandoned, p)
+			}
+		}
+		m.mu.Unlock()
+		for _, p := range abandoned {
+			close(p.done)
+		}
+	}()
+
+	hits := int64(0)
+	for h := range results {
+		hits += mult[h]
+	}
+	misses := int64(0)
+	for _, c := range claimed {
+		misses += mult[c.Hash]
+	}
+	m.cellHits.Add(hits)
+	m.cellMisses.Add(misses)
+	j.cellHits.Store(hits)
+	j.cellMisses.Store(misses)
+	j.cellsDone.Store(hits)
+	onDone := func(c scenario.CellJob) { j.cellsDone.Add(mult[c.Hash]) }
+
+	// Dispatch own claims first — subscribers may be waiting on them;
+	// bankCells resolves each pending as its shard lands.
+	if len(claimed) > 0 {
+		fresh, err := m.dispatch(ctx, plan, claimed, onDone)
+		if err != nil {
+			return nil, err
+		}
+		for h, rm := range fresh {
+			results[h] = rm
+		}
+	}
+
+	// Collect subscribed cells. A cell whose owner abandoned it falls
+	// back to a second dispatch by this job (duplicating work only in
+	// that failure path).
+	var fallback []scenario.CellJob
+	for h, p := range waits {
+		<-p.done
+		if p.ok {
+			results[h] = p.rm
+			m.cellHits.Add(mult[h])
+			j.cellHits.Add(mult[h])
+			onDone(byHash[h])
+		} else {
+			fallback = append(fallback, byHash[h])
+		}
+	}
+	if len(fallback) > 0 {
+		for _, c := range fallback {
+			m.cellMisses.Add(mult[c.Hash])
+			j.cellMisses.Add(mult[c.Hash])
+		}
+		fresh, err := m.dispatch(ctx, plan, fallback, onDone)
+		if err != nil {
+			return nil, err
+		}
+		for h, rm := range fresh {
+			results[h] = rm
+		}
+	}
+
+	res, err := scenario.Merge(plan, results)
+	if err != nil {
+		return nil, err
+	}
+	j.cellsDone.Store(int64(len(plan.Cells)))
+	return res, nil
+}
+
+// dispatch batches cells into shards and runs them concurrently
+// (round-robin over the backends, failing over to the others), calling
+// onDone per completed cell. Successful cells enter the cell cache as
+// their shard lands — not when the whole dispatch finishes — so a job
+// that later fails still banks its finished cells, and a concurrent
+// overlapping job starts hitting them as early as possible. A
+// deterministic per-cell engine error fails the whole dispatch, like a
+// failed cell fails a monolithic Run — and cancels the remaining shards:
+// a doomed job must not keep simulating its grid.
+func (m *Manager) dispatch(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob, onDone func(scenario.CellJob)) (map[string]scenario.RunMetrics, error) {
+	var shards [][]scenario.CellJob
+	for i := 0; i < len(cells); i += m.cfg.ShardSize {
+		shards = append(shards, cells[i:min(i+m.cfg.ShardSize, len(cells))])
+	}
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Bound in-flight shards: enough to keep every backend's pool full
+	// (Workers/ShardSize shards saturate the local pool; assume peers are
+	// comparably sized), without a goroutine per shard of a huge grid.
+	inflight := len(m.backends) * max(1, (m.cfg.Workers+m.cfg.ShardSize-1)/m.cfg.ShardSize)
+	gate := make(chan struct{}, inflight)
+	out := make(map[string]scenario.RunMetrics, len(cells))
+	var (
+		outMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	for si, shard := range shards {
+		outMu.Lock()
+		stop := firstErr != nil
+		outMu.Unlock()
+		if stop {
+			break
+		}
+		gate <- struct{}{}
+		wg.Add(1)
+		go func(si int, shard []scenario.CellJob) {
+			defer wg.Done()
+			defer func() { <-gate }()
+			crs, err := m.runShard(dctx, si, plan, shard)
+			if err == nil {
+				m.bankCells(crs)
+			}
+			outMu.Lock()
+			defer outMu.Unlock()
+			if err != nil {
+				fail(err)
+				return
+			}
+			for i, cr := range crs {
+				if cr.Err != nil {
+					fail(fmt.Errorf("scenario %q: %s: %w", plan.Spec.Name, plan.CellLabel(shard[i]), cr.Err))
+					continue
+				}
+				out[cr.Hash] = cr.Metrics
+				onDone(shard[i])
+			}
+		}(si, shard)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// planFor returns a memoized plan for the spec. A grid is hashed once per
+// spec, not once per shard request: without this, a worker serving a
+// 10k-cell grid in 16-cell shards would re-derive all 10k cell hashes
+// hundreds of times. Plans are immutable after construction, so sharing
+// one across concurrent shard requests is safe (RunCell already runs
+// concurrently against a single plan).
+func (m *Manager) planFor(hash string, spec scenario.Spec) (*scenario.Plan, error) {
+	m.mu.Lock()
+	plan, ok := m.plans.Get(hash)
+	m.mu.Unlock()
+	if ok {
+		return plan, nil
+	}
+	plan, err := scenario.NewPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.plans.Add(hash, plan)
+	m.mu.Unlock()
+	return plan, nil
+}
+
+// probeCells is the read side of the cell-cache protocol, shared by the
+// job path (runJob) and the worker shard path (handleShards): it returns
+// the cached metrics by hash and the distinct not-yet-cached cells in
+// input order. Duplicate hashes in the input collapse to one entry.
+func (m *Manager) probeCells(cells []scenario.CellJob) (cached map[string]scenario.RunMetrics, missing []scenario.CellJob) {
+	cached = make(map[string]scenario.RunMetrics, len(cells))
+	seen := make(map[string]bool, len(cells))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range cells {
+		if seen[c.Hash] {
+			continue
+		}
+		seen[c.Hash] = true
+		if rm, ok := m.cells.Get(c.Hash); ok {
+			cached[c.Hash] = rm
+		} else {
+			missing = append(missing, c)
+		}
+	}
+	return cached, missing
+}
+
+// bankCells is the write side of the cell-cache protocol: successful
+// results enter the cache, and any job subscribed to the cell is resolved
+// immediately — waiters unblock as shards land, not when the owning job
+// finishes. Failed cells enter neither.
+func (m *Manager) bankCells(crs []CellResult) {
+	m.mu.Lock()
+	var resolved []*pendingCell
+	for _, cr := range crs {
+		if cr.Err != nil {
+			continue
+		}
+		m.cells.Add(cr.Hash, cr.Metrics)
+		if p, ok := m.pending[cr.Hash]; ok {
+			p.rm, p.ok = cr.Metrics, true
+			delete(m.pending, cr.Hash)
+			resolved = append(resolved, p)
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range resolved {
+		close(p.done)
+	}
+}
+
+// runShard tries the shard on each backend in turn, starting at the
+// shard's round-robin home, until one accepts it. Remote attempts run
+// under ShardTimeout so a wedged peer surfaces as a retryable error
+// instead of hanging the job.
+func (m *Manager) runShard(ctx context.Context, si int, plan *scenario.Plan, shard []scenario.CellJob) ([]CellResult, error) {
+	n := len(m.backends)
+	var lastErr error
+	for attempt := 0; attempt < n; attempt++ {
+		b := m.backends[(si+attempt)%n]
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if _, isLocal := b.(*localBackend); !isLocal && m.cfg.ShardTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, m.cfg.ShardTimeout)
+		}
+		crs, err := b.Execute(actx, plan, shard)
+		cancel()
+		if err != nil {
+			lastErr = fmt.Errorf("backend %s: %w", b.Name(), err)
+			continue
+		}
+		if len(crs) != len(shard) {
+			lastErr = fmt.Errorf("backend %s returned %d results for %d cells", b.Name(), len(crs), len(shard))
+			continue
+		}
+		return crs, nil
+	}
+	return nil, fmt.Errorf("shard of %d cells failed on all %d backends: %w", len(shard), n, lastErr)
+}
+
 // Job looks a job up by hash, in flight or cached.
 func (m *Manager) Job(hash string) (*Job, bool) {
 	m.mu.Lock()
@@ -299,29 +680,81 @@ func (m *Manager) Job(hash string) (*Job, bool) {
 	return m.cache.Get(hash)
 }
 
-// EngineRuns reports how many engine runs the manager has executed —
+// EngineRuns reports how many jobs the manager has executed —
 // submissions minus dedupe and cache hits.
 func (m *Manager) EngineRuns() int64 { return m.runs.Load() }
 
+// CellRuns reports how many cells the local backend has simulated (for
+// its own jobs and for shards served to peers).
+func (m *Manager) CellRuns() int64 { return m.local.cellRuns.Load() }
+
+// Jobs snapshots every known job — in flight first (newest submission
+// first), then finished ones from most to least recently used — for the
+// GET /v1/jobs listing.
+func (m *Manager) Jobs() []Status {
+	m.mu.Lock()
+	inflight := make([]*Job, 0, len(m.inflight))
+	for _, j := range m.inflight {
+		inflight = append(inflight, j)
+	}
+	cached := make([]*Job, 0, m.cache.Len())
+	for _, h := range m.cache.Keys() {
+		if j, ok := m.cache.Peek(h); ok {
+			cached = append(cached, j)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(inflight, func(a, b int) bool {
+		if !inflight[a].created.Equal(inflight[b].created) {
+			return inflight[a].created.After(inflight[b].created)
+		}
+		return inflight[a].Hash < inflight[b].Hash
+	})
+	out := make([]Status, 0, len(inflight)+len(cached))
+	for _, j := range inflight {
+		out = append(out, j.Snapshot())
+	}
+	for _, j := range cached {
+		out = append(out, j.Snapshot())
+	}
+	return out
+}
+
 // Stats summarizes the manager for the health endpoint.
 type Stats struct {
-	Workers    int   `json:"workers"`
-	CacheSize  int   `json:"cache_size"`
-	Cached     int   `json:"cached"`
-	Inflight   int   `json:"inflight"`
-	EngineRuns int64 `json:"engine_runs"`
+	Workers       int      `json:"workers"`
+	CacheSize     int      `json:"cache_size"`
+	Cached        int      `json:"cached"`
+	Inflight      int      `json:"inflight"`
+	EngineRuns    int64    `json:"engine_runs"`
+	CellCacheSize int      `json:"cell_cache_size"`
+	CellsCached   int      `json:"cells_cached"`
+	CellHits      int64    `json:"cell_hits"`
+	CellMisses    int64    `json:"cell_misses"`
+	CellRuns      int64    `json:"cell_runs"`
+	Backends      []string `json:"backends"`
 }
 
 // Stats returns current counters.
 func (m *Manager) Stats() Stats {
+	backends := make([]string, len(m.backends))
+	for i, b := range m.backends {
+		backends[i] = b.Name()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Workers:    m.cfg.Workers,
-		CacheSize:  m.cfg.CacheSize,
-		Cached:     m.cache.Len(),
-		Inflight:   len(m.inflight),
-		EngineRuns: m.runs.Load(),
+		Workers:       m.cfg.Workers,
+		CacheSize:     m.cfg.CacheSize,
+		Cached:        m.cache.Len(),
+		Inflight:      len(m.inflight),
+		EngineRuns:    m.runs.Load(),
+		CellCacheSize: m.cfg.CellCacheSize,
+		CellsCached:   m.cells.Len(),
+		CellHits:      m.cellHits.Load(),
+		CellMisses:    m.cellMisses.Load(),
+		CellRuns:      m.local.cellRuns.Load(),
+		Backends:      backends,
 	}
 }
 

@@ -116,7 +116,7 @@ func TestCacheHitSkipsRun(t *testing.T) {
 // TestLRUEvictionOrder drives the lru directly: least-recently-used falls
 // out first, and Get refreshes recency.
 func TestLRUEvictionOrder(t *testing.T) {
-	c := newLRU(2)
+	c := newLRUCache[*Job](2)
 	mk := func(h string) *Job { return &Job{Hash: h} }
 	c.Add("a", mk("a"))
 	c.Add("b", mk("b"))
@@ -138,6 +138,14 @@ func TestLRUEvictionOrder(t *testing.T) {
 	}
 	if c.Len() != 2 {
 		t.Errorf("len %d, want 2", c.Len())
+	}
+	// Peek must not refresh recency: peek a (the LRU), add d, a falls out.
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("Peek(a) missed")
+	}
+	c.Add("d", mk("d"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived eviction after only a Peek; Peek must not promote")
 	}
 }
 
@@ -181,7 +189,9 @@ func TestManagerEviction(t *testing.T) {
 func TestFailedJobLifecycle(t *testing.T) {
 	m := NewManager(Config{Workers: 1, CacheSize: 2})
 	boom := errors.New("engine exploded")
-	m.runFn = func(scenario.Spec) (*scenario.Result, error) { return nil, boom }
+	m.local.runCell = func(*scenario.Plan, scenario.CellJob) (scenario.RunMetrics, error) {
+		return scenario.RunMetrics{}, boom
+	}
 	j, _, err := m.Submit(tinySpec(3))
 	if err != nil {
 		t.Fatal(err)

@@ -29,7 +29,7 @@ run() {
 run 'BenchmarkScaleout64Engine$|BenchmarkSimulatedSchedulerThroughput$' .
 run 'BenchmarkEventThroughput$|BenchmarkEngineTypedEvents$|BenchmarkEngineClosureEvents$' ./internal/sim
 run 'BenchmarkDurationConstant$|BenchmarkDurationDVFS$' ./internal/machine
-run 'BenchmarkServiceCacheHit$|BenchmarkServiceColdRun$' ./internal/service
+run 'BenchmarkServiceCacheHit$|BenchmarkServiceColdRun$|BenchmarkShardDispatch$|BenchmarkCellAssemblyWarm$' ./internal/service
 
 {
 	printf '{\n'

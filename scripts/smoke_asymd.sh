@@ -1,29 +1,44 @@
 #!/usr/bin/env sh
-# smoke_asymd.sh — build asymd, start it on an ephemeral port, hit
-# /v1/healthz, submit a tiny burst-sweep, poll to done and assert the
-# result carries a non-empty fingerprint. Used by CI and runnable locally.
+# smoke_asymd.sh — build asymd and smoke two topologies:
+#
+#  1. single node: start on an ephemeral port, hit /v1/healthz, submit a
+#     tiny burst-sweep, poll to done, assert a non-empty fingerprint and
+#     a warm-cache resubmit;
+#  2. two nodes: start a worker and a coordinator peered to it
+#     (-peers, -shard 1), submit a raw multi-cell spec, assert the worker
+#     simulated shards, then resubmit the spec plus one extra sweep point
+#     and assert the delta job reports cell-cache hits.
+#
+# Used by CI (asymd-smoke job) and runnable locally.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BIN="${TMPDIR:-/tmp}/asymd-smoke"
 LOG="$(mktemp)"
-trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+WLOG="$(mktemp)"
+CLOG="$(mktemp)"
+trap 'kill "$PID" "$WPID" "$CPID" 2>/dev/null || true; rm -f "$LOG" "$WLOG" "$CLOG"' EXIT
+PID=""; WPID=""; CPID=""
 
 go build -o "$BIN" ./cmd/asymd
 
+# wait_addr <logfile> <pidvarvalue>: print the bound address once logged.
+wait_addr() {
+	_addr=""
+	for _ in $(seq 1 50); do
+		_addr="$(sed -n 's/.*asymd listening.*addr=\([0-9.:]*\).*/\1/p' "$1" | head -n 1)"
+		[ -n "$_addr" ] && break
+		kill -0 "$2" 2>/dev/null || { echo "asymd died:" >&2; cat "$1" >&2; return 1; }
+		sleep 0.2
+	done
+	[ -n "$_addr" ] || { echo "asymd never logged its address:" >&2; cat "$1" >&2; return 1; }
+	printf '%s' "$_addr"
+}
+
 "$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
 PID=$!
-
-# The daemon logs "asymd listening addr=<host:port>" once bound.
-ADDR=""
-for _ in $(seq 1 50); do
-	ADDR="$(sed -n 's/.*asymd listening.*addr=\([0-9.:]*\).*/\1/p' "$LOG" | head -n 1)"
-	[ -n "$ADDR" ] && break
-	kill -0 "$PID" 2>/dev/null || { echo "asymd died:"; cat "$LOG"; exit 1; }
-	sleep 0.2
-done
-[ -n "$ADDR" ] || { echo "asymd never logged its address:"; cat "$LOG"; exit 1; }
+ADDR="$(wait_addr "$LOG" "$PID")"
 BASE="http://$ADDR"
 echo "asymd up at $BASE"
 
@@ -53,5 +68,75 @@ printf '%s' "$RESULT" | grep -q '"fingerprint": "scenario=' \
 CODE="$(curl -sS -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
 	-d '{"family": "burst-sweep", "scale": 0.01}' "$BASE/v1/jobs")"
 [ "$CODE" = "200" ] || { echo "cached resubmit returned $CODE, want 200"; exit 1; }
+
+# The job listing must include the finished job.
+curl -fsS "$BASE/v1/jobs" | grep -q "\"id\": \"$JOB\"" \
+	|| { echo "job $JOB missing from GET /v1/jobs"; exit 1; }
+
+echo "single-node smoke OK"
+
+# --- two-node peer topology: coordinator + one worker ---------------------
+
+"$BIN" -addr 127.0.0.1:0 >"$WLOG" 2>&1 &
+WPID=$!
+WADDR="$(wait_addr "$WLOG" "$WPID")"
+echo "worker up at http://$WADDR"
+
+# -shard 1 puts every cell in its own shard; round-robin then guarantees
+# the worker peer receives shards for any multi-cell job.
+"$BIN" -addr 127.0.0.1:0 -peers "http://$WADDR" -shard 1 >"$CLOG" 2>&1 &
+CPID=$!
+CADDR="$(wait_addr "$CLOG" "$CPID")"
+COORD="http://$CADDR"
+echo "coordinator up at $COORD (peered to worker)"
+
+SPEC_A='{"name":"smoke-shard","workload":{"kind":"synthetic","synthetic":{"kernel":"MatMul","tasks":600}},"policies":["RWS","DAM-C"],"points":[{"label":"P2","parallelism":2},{"label":"P4","parallelism":4}],"seed":7}'
+SUBMIT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d "{\"spec\": $SPEC_A}" "$COORD/v1/jobs")"
+JOB2="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
+[ -n "$JOB2" ] || { echo "no job id in: $SUBMIT"; exit 1; }
+
+STATE=""
+for _ in $(seq 1 150); do
+	STATUS="$(curl -fsS "$COORD/v1/jobs/$JOB2")"
+	STATE="$(printf '%s' "$STATUS" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+	[ "$STATE" = "done" ] && break
+	[ "$STATE" = "failed" ] && { echo "sharded job failed: $STATUS"; exit 1; }
+	sleep 0.2
+done
+[ "$STATE" = "done" ] || { echo "sharded job stuck in state '$STATE'"; exit 1; }
+
+# The worker must have simulated some of the shards.
+WRUNS="$(curl -fsS "http://$WADDR/v1/healthz" | sed -n 's/.*"cell_runs": \([0-9]*\).*/\1/p')"
+[ -n "$WRUNS" ] && [ "$WRUNS" -ge 1 ] || { echo "worker simulated $WRUNS cells, want >= 1"; exit 1; }
+echo "worker simulated $WRUNS cells"
+
+# Resubmit the spec plus one extra sweep point: a NEW job (different spec
+# hash) that must assemble the old cells from the coordinator's cell cache
+# and simulate only the delta.
+SPEC_B='{"name":"smoke-shard","workload":{"kind":"synthetic","synthetic":{"kernel":"MatMul","tasks":600}},"policies":["RWS","DAM-C"],"points":[{"label":"P2","parallelism":2},{"label":"P4","parallelism":4},{"label":"P6","parallelism":6}],"seed":7}'
+SUBMIT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d "{\"spec\": $SPEC_B}" "$COORD/v1/jobs")"
+JOB3="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
+[ -n "$JOB3" ] || { echo "no job id in: $SUBMIT"; exit 1; }
+[ "$JOB3" != "$JOB2" ] || { echo "extended spec hashed to the same job"; exit 1; }
+
+STATE=""
+for _ in $(seq 1 150); do
+	STATUS="$(curl -fsS "$COORD/v1/jobs/$JOB3")"
+	STATE="$(printf '%s' "$STATUS" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+	[ "$STATE" = "done" ] && break
+	[ "$STATE" = "failed" ] && { echo "delta job failed: $STATUS"; exit 1; }
+	sleep 0.2
+done
+[ "$STATE" = "done" ] || { echo "delta job stuck in state '$STATE'"; exit 1; }
+
+# 4 of the 6 cells (2 policies x 3 points) overlap spec A and must be
+# cell-cache hits; only the 2 new P6 cells may miss.
+HITS="$(printf '%s' "$STATUS" | sed -n 's/.*"cell_hits": \([0-9]*\).*/\1/p')"
+MISSES="$(printf '%s' "$STATUS" | sed -n 's/.*"cell_misses": \([0-9]*\).*/\1/p')"
+[ "$HITS" = "4" ] || { echo "delta job had $HITS cell hits, want 4: $STATUS"; exit 1; }
+[ "$MISSES" = "2" ] || { echo "delta job had $MISSES cell misses, want 2: $STATUS"; exit 1; }
+echo "delta job reused $HITS cells, simulated $MISSES"
 
 echo "asymd smoke OK"

@@ -1,0 +1,34 @@
+package dagio
+
+import "testing"
+
+// BenchmarkImportDOT measures the full DOT import path — tokenize,
+// parse, normalize, validate — on the bundled demo graph. This is the
+// per-submission cost a service pays to accept an external task graph.
+func BenchmarkImportDOT(b *testing.B) {
+	data := []byte(DemoDOT)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseDOT(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildCholesky measures generator expansion plus dag.Graph
+// construction for a 16-tile Cholesky (816 tasks) — the cold-cache cost
+// of materializing a generated workload before a cell runs.
+func BenchmarkBuildCholesky(b *testing.B) {
+	cfg := GenConfig{Model: ModelCholesky, Tiles: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := cfg.Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package dagio
+
+// DemoDOT is the bundled example task graph: a small irregular pipeline
+// (load → two parallel analysis branches of different intensity → a
+// reduce spine) exercising every importer feature — node defaults,
+// per-node overrides, type classes, priority marks, edge chains and
+// comments. examples/dag/demo.dot and examples/dag/demo.json ship the
+// same graph for the CLI; a test pins all three to the same Digest.
+const DemoDOT = `// demo: irregular two-branch analysis pipeline.
+// Work is in machine-model ops (cycles at speed 1.0); 6.1e6 ops is
+// roughly one 64x64x64 matmul tile (~3 ms on a TX2 A57).
+digraph demo {
+  node [work=6.1e6, bytes=6.6e4, type="analyze"];
+
+  load   [work=1.5e6, bytes=5.2e5, type="io"];
+  split  [work=5.0e5, type="io", high=true];
+  load -> split;
+
+  // Branch A: compute-heavy, narrow.
+  a0 [work=1.2e7, type="simulate", high=true];
+  a1 [work=1.2e7, type="simulate"];
+  a2 [work=1.2e7, type="simulate"];
+  split -> a0 -> a1 -> a2;
+
+  // Branch B: wide fan-out of lighter analysis tasks.
+  split -> b0; split -> b1; split -> b2; split -> b3;
+  split -> b4; split -> b5;
+
+  // Reduce spine: pairwise merges, then a final report.
+  m0 [work=2.4e6, bytes=2.6e5, type="merge"];
+  m1 [work=2.4e6, bytes=2.6e5, type="merge"];
+  m2 [work=2.4e6, bytes=2.6e5, type="merge"];
+  b0 -> m0; b1 -> m0;
+  b2 -> m1; b3 -> m1;
+  b4 -> m2; b5 -> m2;
+
+  report [work=3.1e6, bytes=1.3e5, type="io", high=true];
+  m0 -> report; m1 -> report; m2 -> report;
+  a2 -> report;
+}
+`
+
+// Demo returns the bundled example graph. It panics only if DemoDOT
+// itself is broken, which the package tests rule out.
+func Demo() *GraphSpec {
+	g, err := ParseDOT([]byte(DemoDOT))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

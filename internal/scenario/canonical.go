@@ -31,8 +31,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"dynasym/internal/core"
+	"dynasym/internal/dagio"
 	"dynasym/internal/topology"
 	"dynasym/internal/workloads"
 )
@@ -71,11 +73,31 @@ type clusterJSON struct {
 }
 
 type workloadJSON struct {
-	Kind        string         `json:"kind"`
-	Synthetic   *syntheticJSON `json:"synthetic,omitempty"`
-	KMeans      *kmeansJSON    `json:"kmeans,omitempty"`
-	Heat        *heatJSON      `json:"heat,omitempty"`
-	Criticality string         `json:"criticality,omitempty"`
+	Kind      string         `json:"kind"`
+	Synthetic *syntheticJSON `json:"synthetic,omitempty"`
+	KMeans    *kmeansJSON    `json:"kmeans,omitempty"`
+	Heat      *heatJSON      `json:"heat,omitempty"`
+	// DAG is the normalized graph content of a dagfile workload
+	// (dagio's wire schema, name stripped). Encoding the content —
+	// never the source path — is what makes DAGFile hashes a pure
+	// function of the graph: rename the file, reorder its
+	// declarations, or re-submit it from another host, and the spec
+	// still lands on the same cache keys. It also makes the canonical
+	// spec self-contained, so a remote shard worker can rebuild the
+	// exact workload from the wire bytes alone.
+	DAG         *dagio.JSONGraph `json:"dag,omitempty"`
+	DAGGen      *dagGenJSON      `json:"daggen,omitempty"`
+	Criticality string           `json:"criticality,omitempty"`
+}
+
+type dagGenJSON struct {
+	Model  string `json:"model"`
+	Tiles  int    `json:"tiles"`
+	Tile   int    `json:"tile"`
+	Layers int    `json:"layers"`
+	Width  int    `json:"width"`
+	Degree int    `json:"degree"`
+	Seed   uint64 `json:"seed"`
 }
 
 type syntheticJSON struct {
@@ -224,8 +246,27 @@ func (s Spec) canonicalStruct() (specJSON, error) {
 			RowsPerBlock:  cfg.RowsPerBlock,
 			Cols:          cfg.Cols,
 		}
+	case DAGFile:
+		if s.Workload.DAG == nil {
+			return specJSON{}, fmt.Errorf("scenario: cannot encode dagfile workload without a graph")
+		}
+		wire := s.Workload.DAG.Wire()
+		sj.Workload.DAG = &wire
+		sj.Workload.Criticality = s.Workload.Criticality
+	case DAGGen:
+		cfg := s.Workload.DAGGen.Defaults()
+		sj.Workload.DAGGen = &dagGenJSON{
+			Model:  cfg.Model,
+			Tiles:  cfg.Tiles,
+			Tile:   cfg.Tile,
+			Layers: cfg.Layers,
+			Width:  cfg.Width,
+			Degree: cfg.Degree,
+			Seed:   cfg.Seed,
+		}
+		sj.Workload.Criticality = s.Workload.Criticality
 	default:
-		return specJSON{}, fmt.Errorf("scenario: cannot encode unknown workload kind %v", s.Workload.Kind)
+		return specJSON{}, fmt.Errorf("scenario: cannot encode unknown workload kind %v (known kinds: %s)", s.Workload.Kind, workloadKindList())
 	}
 
 	if len(s.Disturb) > 0 {
@@ -353,11 +394,26 @@ func ParseSpec(data []byte) (Spec, error) {
 			Cols:          h.Cols,
 		}
 	}
+	if sj.Workload.DAG != nil {
+		s.Workload.DAG = dagio.FromWire(*sj.Workload.DAG)
+	}
+	if sj.Workload.DAGGen != nil {
+		d := sj.Workload.DAGGen
+		s.Workload.DAGGen = dagio.GenConfig{
+			Model:  d.Model,
+			Tiles:  d.Tiles,
+			Tile:   d.Tile,
+			Layers: d.Layers,
+			Width:  d.Width,
+			Degree: d.Degree,
+			Seed:   d.Seed,
+		}
+	}
 
 	if len(sj.Disturb) > 0 {
 		s.Disturb = make([]Disturbance, len(sj.Disturb))
 		for i, dj := range sj.Disturb {
-			dk, err := disturbKindByName(dj.Kind)
+			dk, err := disturbKindByName(i, dj.Kind)
 			if err != nil {
 				return Spec{}, err
 			}
@@ -394,29 +450,52 @@ func ParseSpec(data []byte) (Spec, error) {
 	return s, nil
 }
 
+// disturbKinds lists every valid disturbance kind once, like
+// workloadKinds (scenario.go) does for workloads.
+var disturbKinds = []DisturbKind{CoRunCPU, CoRunMemory, DVFS, Stall, Burst, Throttle}
+
+// kernelKinds lists the synthetic kernel classes.
+var kernelKinds = []workloads.KernelKind{workloads.MatMul, workloads.Copy, workloads.Stencil}
+
+// Unknown-name errors name the offending spec field and enumerate the
+// accepted values, so a typo in a submitted document reports
+// `unknown workload.kind "sinthetic" (known kinds: ...)` instead of
+// just echoing the bad string back.
+
+// nameList renders a kind slice as "a, b, c" for known-kinds errors.
+func nameList[T fmt.Stringer](ks []T) string {
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+func workloadKindList() string { return nameList(workloadKinds) }
+
 func workloadKindByName(name string) (WorkloadKind, error) {
-	for _, k := range []WorkloadKind{Synthetic, KMeans, HeatDist} {
+	for _, k := range workloadKinds {
 		if k.String() == name {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown workload kind %q (want synthetic, kmeans or heatdist)", name)
+	return 0, fmt.Errorf("scenario: unknown workload.kind %q (known kinds: %s)", name, workloadKindList())
 }
 
 func kernelByName(name string) (workloads.KernelKind, error) {
-	for _, k := range []workloads.KernelKind{workloads.MatMul, workloads.Copy, workloads.Stencil} {
+	for _, k := range kernelKinds {
 		if k.String() == name {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown kernel %q (want MatMul, Copy or Stencil)", name)
+	return 0, fmt.Errorf("scenario: unknown workload.synthetic.kernel %q (known kernels: %s)", name, nameList(kernelKinds))
 }
 
-func disturbKindByName(name string) (DisturbKind, error) {
-	for _, k := range []DisturbKind{CoRunCPU, CoRunMemory, DVFS, Stall, Burst, Throttle} {
+func disturbKindByName(index int, name string) (DisturbKind, error) {
+	for _, k := range disturbKinds {
 		if k.String() == name {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown disturbance kind %q", name)
+	return 0, fmt.Errorf("scenario: unknown disturb[%d].kind %q (known kinds: %s)", index, name, nameList(disturbKinds))
 }

@@ -249,20 +249,52 @@ func buildGraph(w WorkloadSpec, pt Point) (*dag.Graph, error) {
 		if pt.Tile > 0 {
 			cfg.Tile = pt.Tile
 		}
-		g := workloads.BuildSynthetic(cfg.Defaults())
-		switch w.Criticality {
-		case CritInferred:
-			g.ClearPriorities()
-			g.InferCriticality(1.0, false)
-		case CritNone:
-			g.ClearPriorities()
-		}
-		return g, nil
+		return applyCriticality(workloads.BuildSynthetic(cfg.Defaults()), w.Criticality), nil
 	case KMeans:
 		return workloads.NewKMeans(w.KMeans).Build(), nil
+	case DAGFile:
+		g, err := w.DAG.Build()
+		if err != nil {
+			return nil, err
+		}
+		return applyCriticality(g, w.Criticality), nil
+	case DAGGen:
+		cfg := w.DAGGen
+		// The sweep axis parameterizes the generator like it does the
+		// synthetic builder: Parallelism overrides the layer/fork
+		// width, Tile the tile-grid edge of the factorizations.
+		if pt.Parallelism > 0 {
+			cfg.Width = pt.Parallelism
+		}
+		if pt.Tile > 0 {
+			cfg.Tiles = pt.Tile
+		}
+		gs, err := cfg.Graph()
+		if err != nil {
+			return nil, err
+		}
+		g, err := gs.Build()
+		if err != nil {
+			return nil, err
+		}
+		return applyCriticality(g, w.Criticality), nil
 	default:
 		return nil, fmt.Errorf("unsupported workload kind %v", w.Kind)
 	}
+}
+
+// applyCriticality rewrites the graph's priority annotations for the
+// CritInferred and CritNone variants; CritUser keeps the builder's own
+// high marks.
+func applyCriticality(g *dag.Graph, variant string) *dag.Graph {
+	switch variant {
+	case CritInferred:
+		g.ClearPriorities()
+		g.InferCriticality(1.0, false)
+	case CritNone:
+		g.ClearPriorities()
+	}
+	return g
 }
 
 // apply installs the disturbance into the model. The spec was validated,

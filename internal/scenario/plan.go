@@ -45,6 +45,11 @@ type Plan struct {
 	Spec Spec
 	// Hash is the spec's canonical hash (the job-level key).
 	Hash string
+	// Canonical is the canonical JSON encoding Hash is the sha256 of,
+	// kept so shard senders can ship the spec without re-marshaling it
+	// per shard (a dagfile spec embeds its whole graph; re-encoding it
+	// for every shard attempt of a large grid is pure waste).
+	Canonical []byte
 	// Cells enumerates the grid policy-major, then point, then repetition —
 	// exactly the order Run executes.
 	Cells []CellJob
@@ -56,10 +61,12 @@ func NewPlan(s Spec) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	hash, err := s.Hash()
+	canonical, err := s.CanonicalJSON()
 	if err != nil {
 		return nil, err
 	}
+	sum := sha256.Sum256(canonical)
+	hash := hex.EncodeToString(sum[:])
 	base, err := s.cellBase()
 	if err != nil {
 		return nil, err
@@ -77,7 +84,7 @@ func NewPlan(s Spec) (*Plan, error) {
 			}
 		}
 	}
-	return &Plan{Spec: s, Hash: hash, Cells: cells}, nil
+	return &Plan{Spec: s, Hash: hash, Canonical: canonical, Cells: cells}, nil
 }
 
 // cellHashVersion tags the engine generation in every cell hash. Bump it

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dynasym/internal/core"
+	"dynasym/internal/dagio"
 	"dynasym/internal/workloads"
 )
 
@@ -122,6 +123,73 @@ func init() {
 				},
 				Policies: core.All(),
 				Points:   ParallelismPoints(2, 4, 6),
+				Seed:     42,
+			}
+		},
+	})
+	Register(Family{
+		Name: "cholesky-sweep",
+		Desc: "tiled Cholesky DAGs (POTRF/TRSM/SYRK/GEMM) on TX2 under a bursty A57 co-runner, sweeping the tile-grid edge",
+		Spec: func(scale float64) Spec {
+			f := clampScale(scale)
+			// Scale shrinks the tile grids (task count is ~T³/6) while
+			// the labels keep naming the nominal size, so a 0.1-scale
+			// sweep still has three distinct, comparable points.
+			pts := make([]Point, 0, 3)
+			for _, T := range []int{8, 12, 16} {
+				pts = append(pts, Point{Label: fmt.Sprintf("T%d", T), Tile: scaleTasks(T, f, 3+len(pts))})
+			}
+			return Spec{
+				Name:     "cholesky-sweep",
+				Platform: PlatformSpec{Preset: "tx2"},
+				Workload: WorkloadSpec{Kind: DAGGen, DAGGen: dagio.GenConfig{Model: dagio.ModelCholesky}},
+				Disturb: []Disturbance{
+					{Kind: Burst, Cluster: 1, Share: 0.4, BusyDur: 0.3 * f, IdleDur: 0.6 * f, PhaseStep: 0.2 * f},
+				},
+				Policies: core.All(),
+				Points:   pts,
+				Seed:     42,
+			}
+		},
+	})
+	Register(Family{
+		Name: "random-layered",
+		Desc: "seeded random layered DAGs (mixed cpu/mem/mix task classes) on TX2 with a throttling Denver cluster, sweeping layer width",
+		Spec: func(scale float64) Spec {
+			f := clampScale(scale)
+			return Spec{
+				Name:     "random-layered",
+				Platform: PlatformSpec{Preset: "tx2"},
+				Workload: WorkloadSpec{Kind: DAGGen, DAGGen: dagio.GenConfig{
+					Model:  dagio.ModelRandomLayered,
+					Layers: scaleTasks(96, f, 12),
+					Degree: 3,
+					Seed:   7,
+				}},
+				Disturb: []Disturbance{
+					{Kind: Throttle, Cluster: 0, From: 1.5 * f, To: 4.5 * f, Floor: 0.3, RampSteps: 6},
+				},
+				Policies: core.All(),
+				Points:   ParallelismPoints(4, 8, 16),
+				Seed:     42,
+			}
+		},
+	})
+	Register(Family{
+		Name: "dag-import-demo",
+		Desc: "the bundled examples/dag/demo.dot graph through the DOT importer under a paper-style DVFS wave (scale only trims reps; imported graphs have fixed shape)",
+		Spec: func(scale float64) Spec {
+			reps := 3
+			if clampScale(scale) < 0.5 {
+				reps = 1
+			}
+			return Spec{
+				Name:     "dag-import-demo",
+				Platform: PlatformSpec{Preset: "tx2"},
+				Workload: WorkloadSpec{Kind: DAGFile, DAG: dagio.Demo()},
+				Disturb:  []Disturbance{PaperDVFS(1)},
+				Policies: core.All(),
+				Reps:     reps,
 				Seed:     42,
 			}
 		},

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"dynasym/internal/core"
+	"dynasym/internal/dagio"
 	"dynasym/internal/interfere"
 	"dynasym/internal/topology"
 	"dynasym/internal/trace"
@@ -122,7 +123,22 @@ const (
 	// HeatDist is the distributed 2D Heat stencil (Figure 10): one runtime
 	// per node on a shared virtual clock and a simulated interconnect.
 	HeatDist
+	// DAGFile executes an imported task graph (GraphViz DOT or the
+	// dagio JSON schema). The spec carries the loaded graph, never the
+	// source path: canonically it encodes — and hashes — as the
+	// normalized graph content, so the same graph imported from any
+	// file, in any declaration order, is one cached workload.
+	DAGFile
+	// DAGGen executes a deterministically generated classic task graph
+	// (tiled Cholesky, tiled LU, fork-join chains, seeded random
+	// layered DAGs); see dagio.GenConfig.
+	DAGGen
 )
+
+// workloadKinds lists every valid kind once; validation and the
+// canonical codec both range over it, so adding a kind cannot leave one
+// of them behind.
+var workloadKinds = []WorkloadKind{Synthetic, KMeans, HeatDist, DAGFile, DAGGen}
 
 // String names the kind for reports and errors.
 func (k WorkloadKind) String() string {
@@ -133,6 +149,10 @@ func (k WorkloadKind) String() string {
 		return "kmeans"
 	case HeatDist:
 		return "heatdist"
+	case DAGFile:
+		return "dagfile"
+	case DAGGen:
+		return "daggen"
 	default:
 		return fmt.Sprintf("WorkloadKind(%d)", int(k))
 	}
@@ -154,8 +174,14 @@ type WorkloadSpec struct {
 	Synthetic workloads.SyntheticConfig
 	KMeans    workloads.KMeansConfig
 	Heat      workloads.HeatDistConfig
+	// DAG is the imported task graph executed when Kind is DAGFile
+	// (load one with dagio.LoadFile or the parsers).
+	DAG *dagio.GraphSpec
+	// DAGGen parameterizes the generated graph when Kind is DAGGen.
+	DAGGen dagio.GenConfig
 	// Criticality selects the priority-annotation variant: CritUser,
-	// CritInferred or CritNone. Synthetic graphs only.
+	// CritInferred or CritNone. Synthetic, DAGFile and DAGGen graphs
+	// only (the importers' own high marks are the "user" annotations).
 	Criticality string
 }
 
@@ -250,9 +276,11 @@ func PaperDVFS(cluster int) Disturbance {
 type Point struct {
 	// Label names the point in results; must be unique within a spec.
 	Label string
-	// Parallelism overrides the synthetic DAG's tasks per layer.
+	// Parallelism overrides the synthetic DAG's tasks per layer, or a
+	// daggen workload's layer/fork width.
 	Parallelism int
-	// Tile overrides the synthetic kernel tile size.
+	// Tile overrides the synthetic kernel tile size, or a daggen
+	// workload's tile-grid edge (the factorization problem size).
 	Tile int
 	// Alpha overrides the PTT new-sample weight for this point.
 	Alpha float64
@@ -364,24 +392,49 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: point %q alpha %v outside [0, 1]", s.Name, pt.Label, pt.Alpha)
 		}
 	}
-	switch s.Workload.Kind {
-	case Synthetic, KMeans, HeatDist:
-	default:
-		return fmt.Errorf("scenario %q: unknown workload kind %v", s.Name, s.Workload.Kind)
+	known := false
+	for _, k := range workloadKinds {
+		if s.Workload.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("scenario %q: unknown workload kind %v (known kinds: %s)", s.Name, s.Workload.Kind, workloadKindList())
 	}
 	switch s.Workload.Criticality {
 	case CritUser, CritInferred, CritNone:
 	default:
 		return fmt.Errorf("scenario %q: unknown criticality variant %q", s.Name, s.Workload.Criticality)
 	}
-	if s.Workload.Kind != Synthetic {
+	switch s.Workload.Kind {
+	case DAGFile:
+		if s.Workload.DAG == nil {
+			return fmt.Errorf("scenario %q: dagfile workload has no graph (load one with dagio.LoadFile)", s.Name)
+		}
+		if err := s.Workload.DAG.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	case DAGGen:
+		if err := s.Workload.DAGGen.Defaults().Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	// Point.Parallelism and Point.Tile parameterize the graph builder:
+	// synthetic layer width/tile edge, or DAGGen width/tile-grid edge.
+	// Fixed graphs (imported files, kmeans, heat) have no such axis.
+	if s.Workload.Kind != Synthetic && s.Workload.Kind != DAGGen {
 		for _, pt := range s.Points {
 			if pt.Parallelism != 0 || pt.Tile != 0 {
-				return fmt.Errorf("scenario %q: point %q sets synthetic fields on a %v workload", s.Name, pt.Label, s.Workload.Kind)
+				return fmt.Errorf("scenario %q: point %q sets graph-shape fields on a %v workload", s.Name, pt.Label, s.Workload.Kind)
 			}
 		}
+	}
+	switch s.Workload.Kind {
+	case Synthetic, DAGFile, DAGGen:
+	default:
 		if s.Workload.Criticality != CritUser {
-			return fmt.Errorf("scenario %q: criticality variants apply to synthetic workloads only", s.Name)
+			return fmt.Errorf("scenario %q: criticality variants apply to synthetic, dagfile and daggen workloads only", s.Name)
 		}
 	}
 	nodes := 1

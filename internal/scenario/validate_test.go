@@ -59,11 +59,11 @@ func TestValidateErrors(t *testing.T) {
 		{"unknown criticality", func(s *Spec) { s.Workload.Criticality = "psychic" }, "unknown criticality"},
 		{"criticality on kmeans", func(s *Spec) {
 			s.Workload = WorkloadSpec{Kind: KMeans, Criticality: CritNone}
-		}, "synthetic workloads only"},
+		}, "synthetic, dagfile and daggen workloads only"},
 		{"synthetic point on kmeans", func(s *Spec) {
 			s.Workload = WorkloadSpec{Kind: KMeans}
 			s.Points = []Point{{Label: "x", Parallelism: 2}}
-		}, "synthetic fields"},
+		}, "graph-shape fields"},
 		{"trace on multi-cell", func(s *Spec) {
 			s.Trace = trace.New()
 			s.Policies = []core.Policy{core.DAMC(), core.RWS()}

@@ -87,11 +87,10 @@ func NewRemoteBackend(baseURL string) Backend {
 func (r *remoteBackend) Name() string { return "peer " + r.url }
 
 func (r *remoteBackend) Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error) {
-	specJSON, err := plan.Spec.CanonicalJSON()
-	if err != nil {
-		return nil, fmt.Errorf("encode spec: %w", err)
-	}
-	req := shardRequest{Spec: specJSON, Cells: make([]shardCell, len(cells))}
+	// The plan carries its canonical encoding; re-marshaling here would
+	// re-encode the full spec (graph included, for dagfile workloads)
+	// once per shard attempt.
+	req := shardRequest{Spec: plan.Canonical, Cells: make([]shardCell, len(cells))}
 	for i, c := range cells {
 		req.Cells[i] = shardCell{Policy: c.Policy, Point: c.Point, Rep: c.Rep, Hash: c.Hash}
 	}

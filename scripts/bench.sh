@@ -30,6 +30,7 @@ run 'BenchmarkScaleout64Engine$|BenchmarkSimulatedSchedulerThroughput$' .
 run 'BenchmarkEventThroughput$|BenchmarkEngineTypedEvents$|BenchmarkEngineClosureEvents$' ./internal/sim
 run 'BenchmarkDurationConstant$|BenchmarkDurationDVFS$' ./internal/machine
 run 'BenchmarkServiceCacheHit$|BenchmarkServiceColdRun$|BenchmarkShardDispatch$|BenchmarkCellAssemblyWarm$' ./internal/service
+run 'BenchmarkImportDOT$|BenchmarkBuildCholesky$' ./internal/dagio
 
 {
 	printf '{\n'

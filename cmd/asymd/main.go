@@ -65,6 +65,24 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	// Cache and shard capacities have no meaningful zero or negative
+	// configuration — "-cache 0" used to be coerced to the default
+	// silently, which reads like "disable caching" but does the opposite.
+	// Reject it loudly instead. (-workers 0 stays meaningful: GOMAXPROCS.)
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"cache", *cache}, {"cellcache", *cellCache}, {"shard", *shard}} {
+		if f.v <= 0 {
+			logger.Error("flag value must be positive", "flag", "-"+f.name, "value", f.v)
+			os.Exit(2)
+		}
+	}
+	if *workers < 0 {
+		logger.Error("flag value must be non-negative (0 = GOMAXPROCS)", "flag", "-workers", "value", *workers)
+		os.Exit(2)
+	}
+
 	var peerURLs []string
 	for _, p := range strings.Split(*peers, ",") {
 		p = strings.TrimSpace(p)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dynasym/internal/core"
 	"dynasym/internal/dag"
@@ -29,6 +30,8 @@ const nodeSeedStride = 1009
 // Run validates the spec and executes the full (policy × point × rep) grid
 // on a bounded worker pool. Every cell runs on private state seeded only by
 // the spec, so the result is deterministic regardless of pool interleaving.
+// A failed cell stops dispatch of the cells after it; the returned error is
+// always the lowest-index failing cell's, so failures too are deterministic.
 // Run is Plan → RunCell (pooled) → Merge; callers that want to schedule,
 // distribute or cache individual cells use those pieces directly.
 func Run(s Spec) (*Result, error) {
@@ -48,16 +51,19 @@ func Run(s Spec) (*Result, error) {
 	errs := make([]error, len(p.Cells))
 	prog := newProgress(spec.Progress, len(p.Cells))
 	ch := make(chan int)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			st := NewCellState()
 			for ci := range ch {
 				c := p.Cells[ci]
-				rm, err := p.RunCell(c)
+				rm, err := p.RunCellState(st, c)
 				if err != nil {
 					errs[ci] = fmt.Errorf("scenario %q: %s: %w", spec.Name, p.CellLabel(c), err)
+					failed.Store(true)
 				} else {
 					results[ci] = rm
 				}
@@ -65,7 +71,16 @@ func Run(s Spec) (*Result, error) {
 			}
 		}()
 	}
+	// Dispatch in cell order and stop feeding once any cell fails:
+	// in-flight cells finish, undispatched ones are abandoned. The error
+	// scan below still reports the lowest failing cell index — the
+	// unbuffered channel hands cells out in index order, so every cell
+	// below a recorded failure was dispatched and has recorded its own
+	// outcome by the time the pool drains.
 	for ci := range p.Cells {
+		if failed.Load() {
+			break
+		}
 		ch <- ci
 	}
 	close(ch)
@@ -124,8 +139,11 @@ func MustRun(s Spec) *Result {
 	return res
 }
 
-// runCell executes one repetition of one cell.
-func runCell(s Spec, pol core.Policy, pt Point, seed uint64) (RunMetrics, error) {
+// runCell executes one repetition of one cell. cw, when non-nil, supplies
+// the point's compiled workload (graph instances come from its pool instead
+// of the builder); st, when non-nil, supplies the worker's reusable engine.
+// Both are pure mechanism — they never change the metrics.
+func runCell(s Spec, pol core.Policy, pt Point, seed uint64, cw *compiledWorkload, st *CellState) (RunMetrics, error) {
 	if s.Workload.Kind == HeatDist {
 		return runDistCell(s, pol, pt, seed)
 	}
@@ -137,7 +155,12 @@ func runCell(s Spec, pol core.Policy, pt Point, seed uint64) (RunMetrics, error)
 	for _, d := range s.Disturb {
 		d.apply(model)
 	}
-	g, err := buildGraph(s.Workload, pt)
+	var g *dag.Graph
+	if cw != nil {
+		g, err = cw.acquire()
+	} else {
+		g, err = buildGraph(s.Workload, pt)
+	}
 	if err != nil {
 		return RunMetrics{}, err
 	}
@@ -148,6 +171,7 @@ func runCell(s Spec, pol core.Policy, pt Point, seed uint64) (RunMetrics, error)
 		Alpha:  cellAlpha(s, pt),
 		Seed:   seed,
 		Trace:  s.Trace,
+		Engine: st.engineFor(),
 	})
 	if err != nil {
 		return RunMetrics{}, err
@@ -157,6 +181,11 @@ func runCell(s Spec, pol core.Policy, pt Point, seed uint64) (RunMetrics, error)
 		return RunMetrics{}, err
 	}
 	rm := collectRun(coll, rt)
+	// Recycle the instance only after a clean run; a stalled or failed
+	// graph is dropped rather than reset.
+	if cw != nil {
+		cw.release(g)
+	}
 	return rm, nil
 }
 

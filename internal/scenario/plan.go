@@ -53,6 +53,18 @@ type Plan struct {
 	// Cells enumerates the grid policy-major, then point, then repetition —
 	// exactly the order Run executes.
 	Cells []CellJob
+
+	// compiled holds, per point index, the shared compiled workload the
+	// point's cells run on (nil for HeatDist, whose cells build their own
+	// multi-node state). Compilation is lazy: entries compile on the
+	// first cell that runs, so plans that are merged purely from cached
+	// results never build a graph.
+	compiled []*compiledWorkload
+	// variant maps each point index to a dense workload-variant id —
+	// points with equal ids share one compiled graph. Backends group
+	// same-variant cells so a worker sweeps one graph's cells back to
+	// back (see PointVariant).
+	variant []int
 }
 
 // NewPlan validates the spec and expands it into cell jobs.
@@ -84,7 +96,12 @@ func NewPlan(s Spec) (*Plan, error) {
 			}
 		}
 	}
-	return &Plan{Spec: s, Hash: hash, Canonical: canonical, Cells: cells}, nil
+	compiled, variant, err := compileWorkloads(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Spec: s, Hash: hash, Canonical: canonical, Cells: cells,
+		compiled: compiled, variant: variant}, nil
 }
 
 // cellHashVersion tags the engine generation in every cell hash. Bump it
@@ -128,15 +145,49 @@ func (p *Plan) CellLabel(c CellJob) string {
 		p.Spec.Policies[c.Policy].Name(), p.Spec.Points[c.Point].Label, c.Rep)
 }
 
+// PointVariant returns the dense workload-variant id of a point index:
+// points with equal ids run structurally identical graphs from one
+// compiled workload. Backends order cells by variant so each worker sweeps
+// one compiled graph's cells back to back.
+func (p *Plan) PointVariant(point int) int {
+	if point < 0 || point >= len(p.variant) {
+		return 0
+	}
+	return p.variant[point]
+}
+
+// runCellHook, when non-nil, intercepts cell execution. Tests use it to
+// inject deterministic mid-grid failures that the public spec surface
+// cannot produce.
+var runCellHook func(p *Plan, c CellJob) (RunMetrics, error, bool)
+
 // RunCell executes one cell. It is a pure function of the plan's spec and
 // the cell's coordinates: same cell, same metrics, bit for bit, no matter
 // where or when it runs. The returned metrics carry the cell's seed.
 func (p *Plan) RunCell(c CellJob) (RunMetrics, error) {
+	return p.RunCellState(nil, c)
+}
+
+// RunCellState is RunCell with caller-owned scratch state: a sweep worker
+// allocates one CellState and passes it to every cell it runs, so engine
+// event storage is reused across the sweep. The state never influences the
+// metrics — RunCellState(st, c) and RunCell(c) are bit-identical. A nil
+// state is valid (RunCell's path).
+func (p *Plan) RunCellState(st *CellState, c CellJob) (RunMetrics, error) {
 	if c.Policy < 0 || c.Policy >= len(p.Spec.Policies) || c.Point < 0 || c.Point >= len(p.Spec.Points) {
 		return RunMetrics{}, fmt.Errorf("scenario %q: cell (%d,%d) outside the %dx%d grid",
 			p.Spec.Name, c.Policy, c.Point, len(p.Spec.Policies), len(p.Spec.Points))
 	}
-	rm, err := runCell(p.Spec, p.Spec.Policies[c.Policy], p.Spec.Points[c.Point], c.Seed)
+	if hook := runCellHook; hook != nil {
+		if rm, err, handled := hook(p, c); handled {
+			return rm, err
+		}
+	}
+	var cw *compiledWorkload
+	if p.compiled != nil {
+		cw = p.compiled[c.Point]
+	}
+	rm, err := runCell(p.Spec, p.Spec.Policies[c.Policy], p.Spec.Points[c.Point], c.Seed, cw, st)
 	if err != nil {
 		return RunMetrics{}, err
 	}

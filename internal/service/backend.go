@@ -9,6 +9,7 @@ package service
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -32,8 +33,11 @@ type Backend interface {
 	Name() string
 	// Execute runs the cells and returns one result per cell, in order.
 	// A non-nil error means the backend itself failed (pool shut down,
-	// peer unreachable, ...) and the whole shard may be retried elsewhere;
-	// per-cell engine errors go into CellResult.Err.
+	// peer unreachable, ...) and the shard may be retried elsewhere. Even
+	// then the result slice may carry cells that completed before the
+	// failure (entries with a non-empty Hash); callers should bank those
+	// and retry only the remainder. Per-cell engine errors go into
+	// CellResult.Err.
 	Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error)
 }
 
@@ -47,37 +51,74 @@ type localBackend struct {
 	cellRuns atomic.Int64
 	// runCell is the engine entry point; tests substitute it to count
 	// runs or inject failures without simulating.
-	runCell func(*scenario.Plan, scenario.CellJob) (scenario.RunMetrics, error)
+	runCell func(*scenario.Plan, *scenario.CellState, scenario.CellJob) (scenario.RunMetrics, error)
 }
 
 func newLocalBackend(workers int) *localBackend {
 	return &localBackend{
 		sem:     make(chan struct{}, workers),
-		runCell: (*scenario.Plan).RunCell,
+		runCell: (*scenario.Plan).RunCellState,
 	}
 }
 
 func (b *localBackend) Name() string { return "local" }
 
+// Execute batches the cells by compiled-workload variant: cells are ordered
+// so that each chunk worker sweeps cells of one compiled graph back to
+// back, reusing its per-worker scratch state (engine storage) across the
+// whole chunk. The semaphore is acquired per cell, not per chunk, so the
+// node-wide concurrency bound and cross-shard fairness are unchanged.
+//
+// On context cancellation the results of cells that already completed are
+// returned alongside ctx.Err() — completed simulation work is never
+// discarded, and cellRuns counts exactly the cells that actually ran.
 func (b *localBackend) Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error) {
 	out := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return out, ctx.Err()
+	}
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return plan.PointVariant(cells[order[a]].Point) < plan.PointVariant(cells[order[b]].Point)
+	})
+	workers := cap(b.sem)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	chunk := (len(cells) + workers - 1) / workers
 	var wg sync.WaitGroup
-	for i, c := range cells {
-		select {
-		case b.sem <- struct{}{}:
-		case <-ctx.Done():
-			wg.Wait()
-			return nil, ctx.Err()
-		}
+	for lo := 0; lo < len(order); lo += chunk {
 		wg.Add(1)
-		go func(i int, c scenario.CellJob) {
+		go func(idxs []int) {
 			defer wg.Done()
-			defer func() { <-b.sem }()
-			b.cellRuns.Add(1)
-			rm, err := b.runCell(plan, c)
-			out[i] = CellResult{Hash: c.Hash, Metrics: rm, Err: err}
-		}(i, c)
+			st := scenario.NewCellState()
+			for _, i := range idxs {
+				// Check cancellation before racing it against a free
+				// worker slot: once the context is done, no further cell
+				// of this chunk may start.
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				select {
+				case b.sem <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				b.cellRuns.Add(1)
+				rm, err := b.runCell(plan, st, cells[i])
+				out[i] = CellResult{Hash: cells[i].Hash, Metrics: rm, Err: err}
+				<-b.sem
+			}
+		}(order[lo:min(lo+chunk, len(order))])
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	return out, nil
 }

@@ -267,10 +267,10 @@ func TestConcurrentOverlapSharesInFlightCells(t *testing.T) {
 	realRun := m.local.runCell
 	started := make(chan struct{}, 16)
 	release := make(chan struct{})
-	m.local.runCell = func(p *scenario.Plan, c scenario.CellJob) (scenario.RunMetrics, error) {
+	m.local.runCell = func(p *scenario.Plan, st *scenario.CellState, c scenario.CellJob) (scenario.RunMetrics, error) {
 		started <- struct{}{}
 		<-release
-		return realRun(p, c)
+		return realRun(p, st, c)
 	}
 
 	a := overlapSpec(38, 2, 4) // 2 policies × 2 points = 4 cells
@@ -316,14 +316,14 @@ func TestFailedJobBanksSucceededCells(t *testing.T) {
 	// banked count below is deterministic despite dispatch canceling
 	// outstanding shards on the first failure.
 	var goodDone atomic.Int64
-	m.local.runCell = func(p *scenario.Plan, c scenario.CellJob) (scenario.RunMetrics, error) {
+	m.local.runCell = func(p *scenario.Plan, st *scenario.CellState, c scenario.CellJob) (scenario.RunMetrics, error) {
 		if p.Spec.Points[c.Point].Parallelism == 8 {
 			for goodDone.Load() < 4 {
 				time.Sleep(time.Millisecond)
 			}
 			return scenario.RunMetrics{}, errors.New("injected cell failure")
 		}
-		rm, err := realRun(p, c)
+		rm, err := realRun(p, st, c)
 		goodDone.Add(1)
 		return rm, err
 	}

@@ -58,7 +58,7 @@ func BenchmarkServiceCacheHit(b *testing.B) {
 // 24-cell grid (seed varies every cell hash, so nothing caches).
 func BenchmarkShardDispatch(b *testing.B) {
 	m := NewManager(Config{Workers: 4, CacheSize: 4, ShardSize: 4})
-	m.local.runCell = func(*scenario.Plan, scenario.CellJob) (scenario.RunMetrics, error) {
+	m.local.runCell = func(*scenario.Plan, *scenario.CellState, scenario.CellJob) (scenario.RunMetrics, error) {
 		return scenario.RunMetrics{Throughput: 1, Makespan: 1, TasksDone: 1}, nil
 	}
 	mkSpec := func(seed uint64) scenario.Spec {

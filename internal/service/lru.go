@@ -1,6 +1,9 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+	"fmt"
+)
 
 // lruEntry pairs a cache key with its value inside the recency list.
 type lruEntry[V any] struct {
@@ -19,6 +22,12 @@ type lruCache[V any] struct {
 }
 
 func newLRUCache[V any](capacity int) *lruCache[V] {
+	// A non-positive capacity is a construction bug, not a runtime
+	// condition: Add would evict the entry it just inserted and every Get
+	// would miss silently. Fail loudly instead.
+	if capacity <= 0 {
+		panic(fmt.Sprintf("service: lruCache capacity must be positive, got %d", capacity))
+	}
 	return &lruCache[V]{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element, capacity)}
 }
 

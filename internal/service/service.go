@@ -645,29 +645,61 @@ func (m *Manager) bankCells(crs []CellResult) {
 // runShard tries the shard on each backend in turn, starting at the
 // shard's round-robin home, until one accepts it. Remote attempts run
 // under ShardTimeout so a wedged peer surfaces as a retryable error
-// instead of hanging the job.
+// instead of hanging the job. A failed attempt may still have completed
+// some cells (a cancelled local pool returns partial results); those are
+// banked into the cell cache immediately and only the remainder is retried
+// on the next backend, so completed simulation work survives the failover.
 func (m *Manager) runShard(ctx context.Context, si int, plan *scenario.Plan, shard []scenario.CellJob) ([]CellResult, error) {
 	n := len(m.backends)
+	done := make(map[string]CellResult, len(shard))
+	remaining := shard
 	var lastErr error
-	for attempt := 0; attempt < n; attempt++ {
+	for attempt := 0; attempt < n && len(remaining) > 0; attempt++ {
 		b := m.backends[(si+attempt)%n]
 		actx, cancel := ctx, context.CancelFunc(func() {})
 		if _, isLocal := b.(*localBackend); !isLocal && m.cfg.ShardTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, m.cfg.ShardTimeout)
 		}
-		crs, err := b.Execute(actx, plan, shard)
+		crs, err := b.Execute(actx, plan, remaining)
 		cancel()
 		if err != nil {
 			lastErr = fmt.Errorf("backend %s: %w", b.Name(), err)
+			var partial []CellResult
+			for _, cr := range crs {
+				if cr.Hash != "" {
+					partial = append(partial, cr)
+					done[cr.Hash] = cr
+				}
+			}
+			if len(partial) > 0 {
+				m.bankCells(partial)
+				rest := make([]scenario.CellJob, 0, len(remaining)-len(partial))
+				for _, c := range remaining {
+					if _, ok := done[c.Hash]; !ok {
+						rest = append(rest, c)
+					}
+				}
+				remaining = rest
+			}
 			continue
 		}
-		if len(crs) != len(shard) {
-			lastErr = fmt.Errorf("backend %s returned %d results for %d cells", b.Name(), len(crs), len(shard))
+		if len(crs) != len(remaining) {
+			lastErr = fmt.Errorf("backend %s returned %d results for %d cells", b.Name(), len(crs), len(remaining))
 			continue
 		}
-		return crs, nil
+		for _, cr := range crs {
+			done[cr.Hash] = cr
+		}
+		remaining = nil
 	}
-	return nil, fmt.Errorf("shard of %d cells failed on all %d backends: %w", len(shard), n, lastErr)
+	if len(remaining) > 0 {
+		return nil, fmt.Errorf("shard of %d cells failed on all %d backends: %w", len(shard), n, lastErr)
+	}
+	out := make([]CellResult, len(shard))
+	for i, c := range shard {
+		out[i] = done[c.Hash]
+	}
+	return out, nil
 }
 
 // Job looks a job up by hash, in flight or cached.

@@ -189,7 +189,7 @@ func TestManagerEviction(t *testing.T) {
 func TestFailedJobLifecycle(t *testing.T) {
 	m := NewManager(Config{Workers: 1, CacheSize: 2})
 	boom := errors.New("engine exploded")
-	m.local.runCell = func(*scenario.Plan, scenario.CellJob) (scenario.RunMetrics, error) {
+	m.local.runCell = func(*scenario.Plan, *scenario.CellState, scenario.CellJob) (scenario.RunMetrics, error) {
 		return scenario.RunMetrics{}, boom
 	}
 	j, _, err := m.Submit(tinySpec(3))

@@ -261,6 +261,31 @@ const (
 // remain queued; Run may be called again to continue.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to the state of a freshly constructed one —
+// virtual time 0, no pending events, zero counters — while keeping the
+// tiers' allocated capacity. Callers that sweep many independent runs
+// (scenario cell workers) Reset between runs so steady-state scheduling
+// stays allocation-free across the whole sweep, with semantics identical
+// to using a fresh engine per run.
+func (e *Engine) Reset() {
+	// Drop payloads explicitly: abandoned events (a run stopped early)
+	// would otherwise keep their handlers and closures alive in the arena.
+	for i := range e.recs {
+		e.recs[i] = eventRec{}
+	}
+	e.now = 0
+	e.seq = 0
+	e.keys = e.keys[:0]
+	e.recs = e.recs[:0]
+	e.free = e.free[:0]
+	e.nowBuf = e.nowBuf[:0]
+	e.nowHead = 0
+	e.near = e.near[:0]
+	e.nearHead = 0
+	e.stopped = false
+	e.Processed = 0
+}
+
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int {
 	return len(e.keys) + (len(e.nowBuf) - e.nowHead) + (len(e.near) - e.nearHead)

@@ -30,7 +30,8 @@ run 'BenchmarkScaleout64Engine$|BenchmarkSimulatedSchedulerThroughput$' .
 run 'BenchmarkEventThroughput$|BenchmarkEngineTypedEvents$|BenchmarkEngineClosureEvents$' ./internal/sim
 run 'BenchmarkDurationConstant$|BenchmarkDurationDVFS$' ./internal/machine
 run 'BenchmarkServiceCacheHit$|BenchmarkServiceColdRun$|BenchmarkShardDispatch$|BenchmarkCellAssemblyWarm$' ./internal/service
-run 'BenchmarkImportDOT$|BenchmarkBuildCholesky$' ./internal/dagio
+run 'BenchmarkImportDOT$|BenchmarkBuildCholesky$|BenchmarkBuildCholeskyAmortized$' ./internal/dagio
+run 'BenchmarkCompiledCellRun$|BenchmarkUncompiledCellRun$' ./internal/scenario
 
 {
 	printf '{\n'

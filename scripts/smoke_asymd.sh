@@ -23,6 +23,15 @@ PID=""; WPID=""; CPID=""
 
 go build -o "$BIN" ./cmd/asymd
 
+# Non-positive cache capacities must be rejected loudly, not silently
+# coerced to the defaults.
+for BADFLAG in "-cache 0" "-cellcache 0" "-shard -1"; do
+	if "$BIN" $BADFLAG -addr 127.0.0.1:0 >/dev/null 2>&1; then
+		echo "asymd accepted '$BADFLAG', want a startup error"; exit 1
+	fi
+done
+echo "bad-flag rejection OK"
+
 # wait_addr <logfile> <pidvarvalue>: print the bound address once logged.
 wait_addr() {
 	_addr=""
@@ -74,6 +83,33 @@ curl -fsS "$BASE/v1/jobs" | grep -q "\"id\": \"$JOB\"" \
 	|| { echo "job $JOB missing from GET /v1/jobs"; exit 1; }
 
 echo "single-node smoke OK"
+
+# --- batched same-graph sweep: cell_runs must reflect exact cell counts ---
+
+# A rep-only daggen sweep runs 3 cells of one compiled graph. The local
+# backend batches them onto shared workload state; cell_runs must advance
+# by exactly the 3 simulated cells — no repeats, no hidden extra builds.
+R0="$(curl -fsS "$BASE/v1/healthz" | sed -n 's/.*"cell_runs": \([0-9]*\).*/\1/p')"
+SPEC_G='{"name":"smoke-batch","workload":{"kind":"daggen","daggen":{"model":"cholesky","tiles":4}},"policies":["DAM-C"],"reps":3,"seed":11}'
+SUBMIT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d "{\"spec\": $SPEC_G}" "$BASE/v1/jobs")"
+JOBG="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
+[ -n "$JOBG" ] || { echo "no job id in: $SUBMIT"; exit 1; }
+
+STATE=""
+for _ in $(seq 1 150); do
+	STATUS="$(curl -fsS "$BASE/v1/jobs/$JOBG")"
+	STATE="$(printf '%s' "$STATUS" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+	[ "$STATE" = "done" ] && break
+	[ "$STATE" = "failed" ] && { echo "batch job failed: $STATUS"; exit 1; }
+	sleep 0.2
+done
+[ "$STATE" = "done" ] || { echo "batch job stuck in state '$STATE'"; exit 1; }
+
+R1="$(curl -fsS "$BASE/v1/healthz" | sed -n 's/.*"cell_runs": \([0-9]*\).*/\1/p')"
+DELTA=$((R1 - R0))
+[ "$DELTA" = "3" ] || { echo "same-graph sweep advanced cell_runs by $DELTA, want 3"; exit 1; }
+echo "batched same-graph sweep simulated exactly $DELTA cells"
 
 # --- two-node peer topology: coordinator + one worker ---------------------
 

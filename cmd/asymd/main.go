@@ -16,6 +16,14 @@
 // over this node's local pool and the peers' POST /v1/shards APIs (with
 // failover), so one daemon fans a large grid out across several.
 //
+// The dispatch path is fault-tolerant: each peer sits behind a circuit
+// breaker (-fail-threshold consecutive transport failures mark it down;
+// it is re-probed after an exponential -probe-backoff), each shard has a
+// retry budget (-shard-retries rounds with -retry-backoff between them),
+// and when every peer is out, shards drain through the local pool — the
+// job completes slower, never dead. GET /v1/healthz reports each peer's
+// breaker state.
+//
 // Endpoints (see internal/service):
 //
 //	POST /v1/jobs            submit {"family","scale","seed"} or {"spec":{...}}
@@ -53,7 +61,12 @@ func main() {
 		cellCache = flag.Int("cellcache", 4096, "cell-result cache capacity (grid cells)")
 		shard     = flag.Int("shard", 16, "max cells per dispatched shard")
 		peers     = flag.String("peers", "", "comma-separated base URLs of peer asymd nodes to farm shards to")
-		shardTO   = flag.Duration("shardtimeout", 10*time.Minute, "max time for one remote shard attempt before failing over (<0 disables)")
+		shardTO   = flag.Duration("shard-timeout", 10*time.Minute, "max time for one remote shard attempt before failing over (<0 disables)")
+		dialTO    = flag.Duration("dial-timeout", 10*time.Second, "max time to connect to a peer before failing over")
+		retries   = flag.Int("shard-retries", 3, "retry budget: rounds over the backend fleet before a shard fails its job")
+		backoff   = flag.Duration("retry-backoff", 100*time.Millisecond, "base pause between shard retry rounds, doubling with jitter (<0 disables)")
+		failThr   = flag.Int("fail-threshold", 3, "consecutive transport failures before a peer is marked down")
+		probeBO   = flag.Duration("probe-backoff", time.Second, "initial down time before a down peer is re-probed, doubling with jitter")
 		drain     = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
 		jsonLog   = flag.Bool("json", false, "log JSON instead of text")
 	)
@@ -72,9 +85,18 @@ func main() {
 	for _, f := range []struct {
 		name string
 		v    int
-	}{{"cache", *cache}, {"cellcache", *cellCache}, {"shard", *shard}} {
+	}{{"cache", *cache}, {"cellcache", *cellCache}, {"shard", *shard}, {"shard-retries", *retries}, {"fail-threshold", *failThr}} {
 		if f.v <= 0 {
 			logger.Error("flag value must be positive", "flag", "-"+f.name, "value", f.v)
+			os.Exit(2)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    time.Duration
+	}{{"dial-timeout", *dialTO}, {"probe-backoff", *probeBO}} {
+		if f.v <= 0 {
+			logger.Error("flag value must be a positive duration", "flag", "-"+f.name, "value", f.v.String())
 			os.Exit(2)
 		}
 	}
@@ -103,6 +125,11 @@ func main() {
 		ShardSize:     *shard,
 		Peers:         peerURLs,
 		ShardTimeout:  *shardTO,
+		DialTimeout:   *dialTO,
+		ShardRetries:  *retries,
+		RetryBackoff:  *backoff,
+		FailThreshold: *failThr,
+		ProbeBackoff:  *probeBO,
 	})
 
 	// Listen before serving so "-addr :0" resolves to a concrete port we

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
@@ -83,7 +84,7 @@ func TestRemoteBackendFingerprint(t *testing.T) {
 	defer srv.Close()
 
 	coord := NewManager(Config{Workers: 2, ShardSize: 3})
-	coord.backends = []Backend{NewRemoteBackend(srv.URL)} // no local fallback: every cell crosses the wire
+	coord.setBackends(NewRemoteBackend(srv.URL, 0)) // no local fallback: every cell crosses the wire
 
 	spec := scenario.Spec{
 		Name: "remote-fingerprint",
@@ -146,7 +147,7 @@ func TestRemoteBackendIterStats(t *testing.T) {
 	srv := httptest.NewServer(worker.Handler(slog.New(slog.NewTextHandler(io.Discard, nil))))
 	defer srv.Close()
 	coord := NewManager(Config{Workers: 1})
-	coord.backends = []Backend{NewRemoteBackend(srv.URL)}
+	coord.setBackends(NewRemoteBackend(srv.URL, 0))
 
 	spec := scenario.Spec{
 		Name: "remote-kmeans",
@@ -187,7 +188,7 @@ func (f *flakyBackend) Execute(context.Context, *scenario.Plan, []scenario.CellJ
 func TestShardFailoverToAnotherBackend(t *testing.T) {
 	m := NewManager(Config{Workers: 2, ShardSize: 1})
 	flaky := &flakyBackend{}
-	m.backends = []Backend{flaky, m.local} // every even shard homes on the broken backend
+	m.setBackends(flaky, m.local) // every even shard homes on the broken backend
 	j, _, err := m.Submit(tinySpec(33))
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +224,7 @@ func (stuckBackend) Execute(ctx context.Context, _ *scenario.Plan, _ []scenario.
 // the job (and its admission slot) would hang forever.
 func TestShardTimeoutFailover(t *testing.T) {
 	m := NewManager(Config{Workers: 2, ShardSize: 1, ShardTimeout: 50 * time.Millisecond})
-	m.backends = []Backend{stuckBackend{}, m.local}
+	m.setBackends(stuckBackend{}, m.local)
 	j, _, err := m.Submit(tinySpec(37))
 	if err != nil {
 		t.Fatal(err)
@@ -241,11 +242,11 @@ func TestShardTimeoutFailover(t *testing.T) {
 	}
 }
 
-// TestAllBackendsFailing: when no backend can take a shard, the job fails
-// with an error naming the exhaustion.
+// TestAllBackendsFailing: when no backend can take a shard even after the
+// whole retry budget, the job fails with an error naming the exhaustion.
 func TestAllBackendsFailing(t *testing.T) {
-	m := NewManager(Config{Workers: 1})
-	m.backends = []Backend{&flakyBackend{}}
+	m := NewManager(Config{Workers: 1, RetryBackoff: -1})
+	m.setBackends(&flakyBackend{})
 	j, _, err := m.Submit(tinySpec(34))
 	if err != nil {
 		t.Fatal(err)
@@ -254,7 +255,7 @@ func TestAllBackendsFailing(t *testing.T) {
 	if j.State() != StateFailed {
 		t.Fatalf("job finished %v, want failed", j.State())
 	}
-	if _, _, _, err := j.Result(); err == nil || !strings.Contains(err.Error(), "failed on all 1 backends") {
+	if _, _, _, err := j.Result(); err == nil || !strings.Contains(err.Error(), "failed after 3 rounds over 1 backends") {
 		t.Errorf("error %v does not name backend exhaustion", err)
 	}
 }
@@ -394,5 +395,48 @@ func TestDuplicatePointsShareOneSimulation(t *testing.T) {
 	l, r := res.Cell(res.Policies[0], "left").Run(), res.Cell(res.Policies[0], "right").Run()
 	if l.Throughput != r.Throughput || l.Makespan != r.Makespan {
 		t.Error("twin points diverged")
+	}
+}
+
+// TestWedgedHTTPPeerShardTimeout: a real HTTP peer that accepts the
+// connection but never responds is the nastiest failure mode — no
+// transport error ever arrives. ShardTimeout must cut the attempt off as
+// a retryable failure and the shard must fail over to the local pool.
+func TestWedgedHTTPPeerShardTimeout(t *testing.T) {
+	unblock := make(chan struct{})
+	wedged := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // accept the shard, then never answer
+		<-unblock
+	}))
+	defer wedged.Close()
+	defer close(unblock) // runs before Close, releasing the held requests
+
+	m := NewManager(Config{Workers: 2, ShardTimeout: 100 * time.Millisecond, RetryBackoff: -1})
+	m.setBackends(NewRemoteBackend(wedged.URL, 0), m.local)
+	start := time.Now()
+	j, _, err := m.Submit(tinySpec(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("job finished %v (%s), want done via local failover", j.State(), j.Snapshot().Error)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("failover took %v; the wedged peer was not cut off by ShardTimeout", elapsed)
+	}
+	_, fp, _, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct := scenario.MustRun(tinySpec(44)); fp != direct.Fingerprint() {
+		t.Error("failover fingerprint differs from direct run")
+	}
+	h := m.handles[0]
+	h.mu.Lock()
+	lastErr := h.lastErr
+	h.mu.Unlock()
+	if lastErr == nil || !errors.Is(lastErr, context.DeadlineExceeded) {
+		t.Errorf("wedged peer recorded %v, want a context.DeadlineExceeded chain", lastErr)
 	}
 }

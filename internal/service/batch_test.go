@@ -130,7 +130,7 @@ func TestRunShardBanksPartialResultsOnFailover(t *testing.T) {
 		}
 		return out, nil
 	}}
-	m.backends = []Backend{first, second}
+	m.setBackends(first, second)
 
 	crs, err := m.runShard(context.Background(), 0, plan, plan.Cells)
 	if err != nil {

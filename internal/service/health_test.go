@@ -1,0 +1,272 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynasym/internal/scenario"
+)
+
+// fakeClock pins a Manager's clock to a settable instant; the breaker
+// state machine then runs entirely on test time.
+type fakeClock struct {
+	mu  chan struct{}
+	cur time.Time
+}
+
+func pinClock(m *Manager) *fakeClock {
+	c := &fakeClock{mu: make(chan struct{}, 1), cur: time.Unix(1000, 0)}
+	c.mu <- struct{}{}
+	m.now = c.now
+	return c
+}
+
+func (c *fakeClock) now() time.Time {
+	<-c.mu
+	defer func() { c.mu <- struct{}{} }()
+	return c.cur
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	<-c.mu
+	c.cur = c.cur.Add(d)
+	c.mu <- struct{}{}
+}
+
+// TestPeerBreakerLifecycle drives one handle through the full circuit:
+// healthy → down after FailThreshold consecutive failures → probe
+// admitted once the (jittered, exponential) backoff elapses → a failed
+// probe re-opens with a longer period → a successful probe recovers.
+func TestPeerBreakerLifecycle(t *testing.T) {
+	m := NewManager(Config{Workers: 1, FailThreshold: 2, ProbeBackoff: time.Second, ProbeMaxBackoff: 8 * time.Second})
+	clock := pinClock(m)
+	h := &backendHandle{Backend: &flakyBackend{}, breaker: true}
+	boom := errors.New("boom")
+
+	if !m.admit(h) {
+		t.Fatal("fresh handle not admissible")
+	}
+	m.report(h, boom)
+	if h.state != peerHealthy {
+		t.Fatalf("state %v after 1 failure, want healthy (threshold is 2)", h.state)
+	}
+	if !m.admit(h) {
+		t.Fatal("handle below threshold not admissible")
+	}
+	m.report(h, boom) // second consecutive failure: trips the breaker
+	if h.state != peerDown {
+		t.Fatalf("state %v after %d consecutive failures, want down", h.state, h.fails)
+	}
+	wait := h.nextProbe.Sub(clock.now())
+	if wait < 500*time.Millisecond || wait >= 1500*time.Millisecond {
+		t.Fatalf("first down period %v, want 1s scaled by jitter in [0.5, 1.5)", wait)
+	}
+	if m.admit(h) {
+		t.Fatal("down peer admitted before its probe time")
+	}
+
+	clock.advance(wait) // probe due
+	if !m.admit(h) {
+		t.Fatal("due probe not admitted")
+	}
+	if h.state != peerProbing {
+		t.Fatalf("state %v after probe admission, want probing", h.state)
+	}
+	if m.admit(h) {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	m.report(h, boom) // failed probe: re-open with doubled backoff
+	if h.state != peerDown {
+		t.Fatalf("state %v after a failed probe, want down", h.state)
+	}
+	wait = h.nextProbe.Sub(clock.now())
+	if wait < time.Second || wait >= 3*time.Second {
+		t.Fatalf("second down period %v, want 2s scaled by jitter in [0.5, 1.5)", wait)
+	}
+
+	clock.advance(wait)
+	if !m.admit(h) {
+		t.Fatal("second probe not admitted")
+	}
+	m.report(h, nil) // probe succeeds: full recovery
+	if h.state != peerHealthy || h.fails != 0 || h.backoffExp != 0 || h.lastErr != nil {
+		t.Fatalf("recovered handle state=%v fails=%d exp=%d lastErr=%v, want clean healthy",
+			h.state, h.fails, h.backoffExp, h.lastErr)
+	}
+	if !m.admit(h) {
+		t.Fatal("recovered peer not admissible")
+	}
+}
+
+// TestProbeBackoffCaps: repeated failed probes double the down period
+// only up to ProbeMaxBackoff.
+func TestProbeBackoffCaps(t *testing.T) {
+	m := NewManager(Config{Workers: 1, FailThreshold: 1, ProbeBackoff: time.Second, ProbeMaxBackoff: 4 * time.Second})
+	clock := pinClock(m)
+	h := &backendHandle{Backend: &flakyBackend{}, breaker: true}
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		m.report(h, boom)
+		if h.state != peerDown {
+			t.Fatalf("trip %d: state %v, want down", i, h.state)
+		}
+		wait := h.nextProbe.Sub(clock.now())
+		if wait >= 6*time.Second { // 4s cap × max jitter 1.5
+			t.Fatalf("trip %d: down period %v exceeds the 4s cap (with jitter <6s)", i, wait)
+		}
+		clock.advance(wait)
+		if !m.admit(h) {
+			t.Fatalf("trip %d: due probe not admitted", i)
+		}
+	}
+	// After many trips the period sits at the cap: 4s × jitter ∈ [2s, 6s).
+	m.report(h, boom)
+	if wait := h.nextProbe.Sub(clock.now()); wait < 2*time.Second || wait >= 6*time.Second {
+		t.Fatalf("capped down period %v, want 4s scaled by jitter in [0.5, 1.5)", wait)
+	}
+}
+
+// TestJitterDeterministic: two managers share the jitter seed, so their
+// backoff streams are identical — chaos runs are reproducible.
+func TestJitterDeterministic(t *testing.T) {
+	a, b := NewManager(Config{Workers: 1}), NewManager(Config{Workers: 1})
+	for i := 0; i < 64; i++ {
+		da, db := a.jitterDur(time.Second), b.jitterDur(time.Second)
+		if da != db {
+			t.Fatalf("jitter stream diverged at draw %d: %v vs %v", i, da, db)
+		}
+		if da < 500*time.Millisecond || da >= 1500*time.Millisecond {
+			t.Fatalf("jitterDur(1s) = %v, want within [0.5s, 1.5s)", da)
+		}
+	}
+}
+
+// TestLocalBackendNeverTrips: the in-process pool records failures but
+// stays admissible and is absent from the peer health report — the
+// graceful-degradation guarantee.
+func TestLocalBackendNeverTrips(t *testing.T) {
+	m := NewManager(Config{Workers: 1, FailThreshold: 1})
+	h := m.handles[0]
+	if h.breaker {
+		t.Fatal("local backend handle has its breaker enabled")
+	}
+	for i := 0; i < 5; i++ {
+		m.report(h, errors.New("pool hiccup"))
+	}
+	if !m.admit(h) {
+		t.Error("local backend inadmissible after failures; degradation would deadlock")
+	}
+	if h.state != peerHealthy {
+		t.Errorf("local backend state %v, want healthy", h.state)
+	}
+	if peers := m.PeerHealth(); len(peers) != 0 {
+		t.Errorf("PeerHealth lists %d entries for a peerless manager, want 0", len(peers))
+	}
+}
+
+// recoveringBackend fails its first n Execute calls with a transport
+// error, then delegates to inner — a transient blip.
+type recoveringBackend struct {
+	name      string
+	inner     Backend
+	failsLeft atomic.Int64
+}
+
+func (r *recoveringBackend) Name() string { return r.name }
+func (r *recoveringBackend) Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error) {
+	if r.failsLeft.Add(-1) >= 0 {
+		return nil, errors.New("transient blip")
+	}
+	return r.inner.Execute(ctx, plan, cells)
+}
+
+// TestRetryBudgetOutlivesTransientBlip: a blip that hits every backend
+// at once used to permanently fail the job after one failover pass; the
+// per-shard retry budget rides it out, with a backoff pause per round.
+func TestRetryBudgetOutlivesTransientBlip(t *testing.T) {
+	m := NewManager(Config{Workers: 2, ShardRetries: 3, FailThreshold: 100})
+	var sleeps atomic.Int64
+	m.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps.Add(1)
+		return ctx.Err()
+	}
+	rb := &recoveringBackend{name: "recovering", inner: m.local}
+	rb.failsLeft.Store(2)
+	m.setBackends(rb)
+	j, _, err := m.Submit(tinySpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("job finished %v (%v), want done on the third round", j.State(), j.Snapshot().Error)
+	}
+	if got := sleeps.Load(); got != 2 {
+		t.Errorf("retry rounds paused %d times, want 2 (one backoff before each retry round)", got)
+	}
+	_, fp, _, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct := scenario.MustRun(tinySpec(61)); fp != direct.Fingerprint() {
+		t.Error("retried job's fingerprint differs from an undisturbed run")
+	}
+
+	// With the budget cut to a single pass, the same blip is fatal.
+	m2 := NewManager(Config{Workers: 2, ShardRetries: 1, RetryBackoff: -1, FailThreshold: 100})
+	rb2 := &recoveringBackend{name: "recovering", inner: m2.local}
+	rb2.failsLeft.Store(2)
+	m2.setBackends(rb2)
+	j2, _, err := m2.Submit(tinySpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+	if j2.State() != StateFailed {
+		t.Fatalf("single-pass job finished %v, want failed", j2.State())
+	}
+	if _, _, _, err := j2.Result(); err == nil || !strings.Contains(err.Error(), "transient blip") {
+		t.Errorf("error %v does not carry the transport cause", err)
+	}
+}
+
+// namedFailBackend always fails with its own distinct message.
+type namedFailBackend struct{ name, msg string }
+
+func (b *namedFailBackend) Name() string { return b.name }
+func (b *namedFailBackend) Execute(context.Context, *scenario.Plan, []scenario.CellJob) ([]CellResult, error) {
+	return nil, errors.New(b.msg)
+}
+
+// TestShardErrorAggregatesAllBackends pins the errors.Join satellite: a
+// shard exhausted across several backends must report every cause, not
+// just the last attempt's.
+func TestShardErrorAggregatesAllBackends(t *testing.T) {
+	m := NewManager(Config{Workers: 1, ShardRetries: 1, RetryBackoff: -1})
+	m.setBackends(
+		&namedFailBackend{"peerA", "connection refused by A"},
+		&namedFailBackend{"peerB", "tls handshake failed at B"},
+	)
+	j, _, err := m.Submit(tinySpec(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.State() != StateFailed {
+		t.Fatalf("job finished %v, want failed", j.State())
+	}
+	_, _, _, err = j.Result()
+	if err == nil {
+		t.Fatal("failed job carries no error")
+	}
+	for _, want := range []string{"peerA", "connection refused by A", "peerB", "tls handshake failed at B"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error %q is missing %q", err, want)
+		}
+	}
+}

@@ -10,7 +10,7 @@ package service
 //	GET  /v1/jobs/{id}       → 200 Status
 //	GET  /v1/results/{hash}  → 200 Result (409 while still running)
 //	GET  /v1/families        → 200 [{name, desc}], sorted by name
-//	GET  /v1/healthz         → 200 {ok, stats}
+//	GET  /v1/healthz         → 200 {ok, stats, peers: per-peer breaker state}
 //	POST /v1/shards          worker-facing: run a batch of plan cells
 //	                         {"spec": {...}, "cells": [{policy,point,rep,hash}]}
 //	                         → 200 {"results": [{hash, metrics|error}]}
@@ -88,9 +88,10 @@ func (m *Manager) Handler(logger *slog.Logger) http.Handler {
 
 func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		OK    bool  `json:"ok"`
-		Stats Stats `json:"stats"`
-	}{true, m.Stats()})
+		OK    bool         `json:"ok"`
+		Stats Stats        `json:"stats"`
+		Peers []PeerStatus `json:"peers,omitempty"`
+	}{true, m.Stats(), m.PeerHealth()})
 }
 
 func (m *Manager) handleFamilies(w http.ResponseWriter, r *http.Request) {

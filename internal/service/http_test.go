@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -261,6 +262,40 @@ func TestHTTPHealthzAndFamilies(t *testing.T) {
 		if f.Name == "" || f.Desc == "" {
 			t.Errorf("family %+v missing name or desc", f)
 		}
+	}
+}
+
+// TestHTTPHealthzReportsPeerHealth: /v1/healthz exposes each remote
+// peer's breaker state, so an operator can see a down worker (and when
+// it will be re-probed) without grepping logs.
+func TestHTTPHealthzReportsPeerHealth(t *testing.T) {
+	m, srv := newTestServer(t, Config{Workers: 1, Peers: []string{"http://peer.invalid:7"}, FailThreshold: 3})
+	h := m.handles[1] // handle 0 is the local pool
+	for i := 0; i < 3; i++ {
+		m.report(h, errors.New("dial tcp: connection refused"))
+	}
+	var health struct {
+		OK    bool         `json:"ok"`
+		Peers []PeerStatus `json:"peers"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if len(health.Peers) != 1 {
+		t.Fatalf("healthz lists %d peers, want 1: %+v", len(health.Peers), health.Peers)
+	}
+	p := health.Peers[0]
+	if p.Peer != "peer http://peer.invalid:7" {
+		t.Errorf("peer name %q", p.Peer)
+	}
+	if p.State != "down" || p.ConsecutiveFails != 3 {
+		t.Errorf("peer reported %s after %d failures, want down after 3", p.State, p.ConsecutiveFails)
+	}
+	if !strings.Contains(p.LastError, "connection refused") {
+		t.Errorf("last_error %q does not carry the failure cause", p.LastError)
+	}
+	if p.NextProbeSec <= 0 {
+		t.Errorf("down peer advertises next_probe_sec %v, want a positive backoff", p.NextProbeSec)
 	}
 }
 

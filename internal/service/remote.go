@@ -74,13 +74,29 @@ type remoteBackend struct {
 // baseURL (e.g. "http://10.0.0.7:8080"). Simulations can be long, so the
 // client has no overall timeout — the dispatcher bounds each attempt with
 // Config.ShardTimeout via the request context — but connecting gets its
-// own short timeout so an unroutable peer fails over fast.
-func NewRemoteBackend(baseURL string) Backend {
+// own short timeout (Config.DialTimeout; 0 picks the 10s default, < 0
+// disables) so an unroutable peer fails over fast.
+func NewRemoteBackend(baseURL string, dialTimeout time.Duration) Backend {
+	return newRemoteBackend(baseURL, dialTimeout, nil)
+}
+
+// newRemoteBackend additionally accepts a transport override, which the
+// chaos suite uses to inject wire-level faults (fault.go) between a real
+// coordinator and a real worker.
+func newRemoteBackend(baseURL string, dialTimeout time.Duration, rt http.RoundTripper) Backend {
+	if dialTimeout == 0 {
+		dialTimeout = 10 * time.Second
+	} else if dialTimeout < 0 {
+		dialTimeout = 0 // net.Dialer: no timeout
+	}
+	if rt == nil {
+		rt = &http.Transport{
+			DialContext: (&net.Dialer{Timeout: dialTimeout}).DialContext,
+		}
+	}
 	return &remoteBackend{
-		url: strings.TrimRight(baseURL, "/"),
-		client: &http.Client{Transport: &http.Transport{
-			DialContext: (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
-		}},
+		url:    strings.TrimRight(baseURL, "/"),
+		client: &http.Client{Transport: rt},
 	}
 }
 

@@ -27,6 +27,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"dynasym/internal/scenario"
+	"dynasym/internal/xrand"
 )
 
 // State is a job's lifecycle position.
@@ -190,6 +192,31 @@ type Config struct {
 	// non-local backends: the in-process pool cannot wedge, and long
 	// paper-scale cells must not be killed mid-simulation.
 	ShardTimeout time.Duration
+	// DialTimeout bounds connecting to a peer (default 10 seconds;
+	// < 0 disables). Kept separate from ShardTimeout so an unroutable
+	// peer fails over fast while long simulations still get their full
+	// attempt budget.
+	DialTimeout time.Duration
+	// ShardRetries is a shard's retry budget: the number of rounds over
+	// the available backends before the shard — and with it the job —
+	// fails (default 3; 1 restores the old single-pass behavior). With
+	// more than one round, a transient blip on every peer no longer
+	// permanently fails a job that a later pass could finish.
+	ShardRetries int
+	// RetryBackoff is the pause before the second round of a shard's
+	// retry budget (default 100ms; < 0 disables). It doubles each round
+	// and is jittered by ±50% so concurrent shards don't retry in
+	// lockstep.
+	RetryBackoff time.Duration
+	// FailThreshold trips a peer's circuit breaker after this many
+	// consecutive transport failures (default 3). See health.go.
+	FailThreshold int
+	// ProbeBackoff is how long a freshly tripped peer stays down before
+	// one probe attempt is admitted (default 1s). Each failed probe
+	// doubles it, up to ProbeMaxBackoff (default 1 minute); both are
+	// jittered by ±50%.
+	ProbeBackoff    time.Duration
+	ProbeMaxBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +235,24 @@ func (c Config) withDefaults() Config {
 	if c.ShardTimeout == 0 {
 		c.ShardTimeout = 10 * time.Minute
 	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.ShardRetries <= 0 {
+		c.ShardRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeBackoff <= 0 {
+		c.ProbeBackoff = time.Second
+	}
+	if c.ProbeMaxBackoff <= 0 {
+		c.ProbeMaxBackoff = time.Minute
+	}
 	return c
 }
 
@@ -216,11 +261,20 @@ type Manager struct {
 	cfg Config
 	sem chan struct{} // job admission slots (Workers); holds jobs in queued
 
-	// local is the in-process backend; backends lists it first, then one
-	// remote backend per configured peer. Shards round-robin over
-	// backends and fail over to the others.
-	local    *localBackend
-	backends []Backend
+	// local is the in-process backend; handles wraps it first, then one
+	// remote backend per configured peer, each in a health-tracked
+	// circuit breaker (health.go). Shards round-robin over the
+	// admissible handles and fail over to the others.
+	local   *localBackend
+	handles []*backendHandle
+
+	// now, sleep and rng are the fault-tolerance layer's time and
+	// randomness sources, injectable so tests drive probe scheduling
+	// with a fake clock and a fixed jitter stream.
+	now   func() time.Time
+	sleep func(context.Context, time.Duration) error
+	rngMu sync.Mutex
+	rng   *xrand.RNG
 
 	mu       sync.Mutex
 	inflight map[string]*Job                // queued/running, by spec hash
@@ -241,20 +295,39 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	local := newLocalBackend(cfg.Workers)
-	backends := []Backend{local}
-	for _, peer := range cfg.Peers {
-		backends = append(backends, NewRemoteBackend(peer))
-	}
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
 		local:    local,
-		backends: backends,
+		now:      time.Now,
+		sleep:    sleepCtx,
+		rng:      xrand.New(0x4ea1),
 		inflight: make(map[string]*Job),
 		cache:    newLRUCache[*Job](cfg.CacheSize),
 		cells:    newLRUCache[scenario.RunMetrics](cfg.CellCacheSize),
 		pending:  make(map[string]*pendingCell),
 		plans:    newLRUCache[*scenario.Plan](planCacheSize),
+	}
+	backends := []Backend{local}
+	for _, peer := range cfg.Peers {
+		backends = append(backends, NewRemoteBackend(peer, cfg.DialTimeout))
+	}
+	m.setBackends(backends...)
+	return m
+}
+
+// sleepCtx is the default Manager.sleep: a context-respecting pause.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -519,7 +592,7 @@ func (m *Manager) dispatch(ctx context.Context, plan *scenario.Plan, cells []sce
 	// Bound in-flight shards: enough to keep every backend's pool full
 	// (Workers/ShardSize shards saturate the local pool; assume peers are
 	// comparably sized), without a goroutine per shard of a huge grid.
-	inflight := len(m.backends) * max(1, (m.cfg.Workers+m.cfg.ShardSize-1)/m.cfg.ShardSize)
+	inflight := len(m.handles) * max(1, (m.cfg.Workers+m.cfg.ShardSize-1)/m.cfg.ShardSize)
 	gate := make(chan struct{}, inflight)
 	out := make(map[string]scenario.RunMetrics, len(cells))
 	var (
@@ -642,28 +715,60 @@ func (m *Manager) bankCells(crs []CellResult) {
 	}
 }
 
-// runShard tries the shard on each backend in turn, starting at the
-// shard's round-robin home, until one accepts it. Remote attempts run
-// under ShardTimeout so a wedged peer surfaces as a retryable error
-// instead of hanging the job. A failed attempt may still have completed
-// some cells (a cancelled local pool returns partial results); those are
-// banked into the cell cache immediately and only the remainder is retried
-// on the next backend, so completed simulation work survives the failover.
+// runShard runs one shard to completion across the fleet: up to
+// Config.ShardRetries rounds over the backends, each round starting at
+// the shard's round-robin home, with exponential jittered backoff
+// between rounds. Peers whose circuit breaker is open are skipped
+// (health.go); the local pool is always admissible, so a fleet whose
+// every remote peer is down degrades to local execution instead of
+// failing the job. Remote attempts run under ShardTimeout so a wedged
+// peer surfaces as a retryable error instead of hanging the job. A
+// failed attempt may still have completed some cells (a cancelled pool
+// or a crashed peer returns partial results); those are banked into the
+// cell cache immediately and only the remainder is retried, so completed
+// simulation work survives the failover. Attempt errors accumulate via
+// errors.Join: an exhausted shard reports every cause, not just the last.
 func (m *Manager) runShard(ctx context.Context, si int, plan *scenario.Plan, shard []scenario.CellJob) ([]CellResult, error) {
-	n := len(m.backends)
+	n := len(m.handles)
 	done := make(map[string]CellResult, len(shard))
 	remaining := shard
-	var lastErr error
-	for attempt := 0; attempt < n && len(remaining) > 0; attempt++ {
-		b := m.backends[(si+attempt)%n]
-		actx, cancel := ctx, context.CancelFunc(func() {})
-		if _, isLocal := b.(*localBackend); !isLocal && m.cfg.ShardTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, m.cfg.ShardTimeout)
+	var attemptErrs []error
+	for round := 0; round < m.cfg.ShardRetries && len(remaining) > 0; round++ {
+		if round > 0 && m.cfg.RetryBackoff > 0 {
+			if err := m.sleep(ctx, m.jitterDur(m.cfg.RetryBackoff<<(round-1))); err != nil {
+				return nil, err
+			}
 		}
-		crs, err := b.Execute(actx, plan, remaining)
-		cancel()
-		if err != nil {
-			lastErr = fmt.Errorf("backend %s: %w", b.Name(), err)
+		for attempt := 0; attempt < n && len(remaining) > 0; attempt++ {
+			h := m.handles[(si+attempt)%n]
+			if !m.admit(h) {
+				continue
+			}
+			actx, cancel := ctx, context.CancelFunc(func() {})
+			if _, isLocal := h.Backend.(*localBackend); !isLocal && m.cfg.ShardTimeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, m.cfg.ShardTimeout)
+			}
+			crs, err := h.Execute(actx, plan, remaining)
+			cancel()
+			if err == nil && len(crs) != len(remaining) {
+				err = fmt.Errorf("returned %d results for %d cells", len(crs), len(remaining))
+				crs = nil
+			}
+			if err == nil {
+				m.report(h, nil)
+				for _, cr := range crs {
+					done[cr.Hash] = cr
+				}
+				remaining = nil
+				break
+			}
+			if ctx.Err() != nil {
+				// The dispatch itself was cancelled — abort without
+				// blaming the peer for our own teardown.
+				return nil, ctx.Err()
+			}
+			m.report(h, err)
+			attemptErrs = append(attemptErrs, fmt.Errorf("backend %s: %w", h.Name(), err))
 			var partial []CellResult
 			for _, cr := range crs {
 				if cr.Hash != "" {
@@ -681,19 +786,15 @@ func (m *Manager) runShard(ctx context.Context, si int, plan *scenario.Plan, sha
 				}
 				remaining = rest
 			}
-			continue
 		}
-		if len(crs) != len(remaining) {
-			lastErr = fmt.Errorf("backend %s returned %d results for %d cells", b.Name(), len(crs), len(remaining))
-			continue
-		}
-		for _, cr := range crs {
-			done[cr.Hash] = cr
-		}
-		remaining = nil
 	}
 	if len(remaining) > 0 {
-		return nil, fmt.Errorf("shard of %d cells failed on all %d backends: %w", len(shard), n, lastErr)
+		joined := errors.Join(attemptErrs...)
+		if joined == nil {
+			joined = errors.New("every backend's circuit breaker is open")
+		}
+		return nil, fmt.Errorf("shard of %d cells failed after %d rounds over %d backends: %w",
+			len(shard), m.cfg.ShardRetries, n, joined)
 	}
 	out := make([]CellResult, len(shard))
 	for i, c := range shard {
@@ -769,9 +870,9 @@ type Stats struct {
 
 // Stats returns current counters.
 func (m *Manager) Stats() Stats {
-	backends := make([]string, len(m.backends))
-	for i, b := range m.backends {
-		backends[i] = b.Name()
+	backends := make([]string, len(m.handles))
+	for i, h := range m.handles {
+		backends[i] = h.Name()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -7,7 +7,11 @@
 #  2. two nodes: start a worker and a coordinator peered to it
 #     (-peers, -shard 1), submit a raw multi-cell spec, assert the worker
 #     simulated shards, then resubmit the spec plus one extra sweep point
-#     and assert the delta job reports cell-cache hits.
+#     and assert the delta job reports cell-cache hits;
+#  3. chaos: coordinator + two workers, SIGKILL one worker mid-sweep,
+#     assert the job still completes with the exact fingerprint an
+#     undisturbed single-node run produces, the dead peer is reported
+#     down by /v1/healthz, and the fleet's cell_runs cover the grid.
 #
 # Used by CI (asymd-smoke job) and runnable locally.
 set -eu
@@ -18,8 +22,11 @@ BIN="${TMPDIR:-/tmp}/asymd-smoke"
 LOG="$(mktemp)"
 WLOG="$(mktemp)"
 CLOG="$(mktemp)"
-trap 'kill "$PID" "$WPID" "$CPID" 2>/dev/null || true; rm -f "$LOG" "$WLOG" "$CLOG"' EXIT
-PID=""; WPID=""; CPID=""
+W1LOG="$(mktemp)"
+W2LOG="$(mktemp)"
+C2LOG="$(mktemp)"
+trap 'kill "$PID" "$WPID" "$CPID" "$W1PID" "$W2PID" "$C2PID" 2>/dev/null || true; rm -f "$LOG" "$WLOG" "$CLOG" "$W1LOG" "$W2LOG" "$C2LOG"' EXIT
+PID=""; WPID=""; CPID=""; W1PID=""; W2PID=""; C2PID=""
 
 go build -o "$BIN" ./cmd/asymd
 
@@ -174,5 +181,96 @@ MISSES="$(printf '%s' "$STATUS" | sed -n 's/.*"cell_misses": \([0-9]*\).*/\1/p')
 [ "$HITS" = "4" ] || { echo "delta job had $HITS cell hits, want 4: $STATUS"; exit 1; }
 [ "$MISSES" = "2" ] || { echo "delta job had $MISSES cell misses, want 2: $STATUS"; exit 1; }
 echo "delta job reused $HITS cells, simulated $MISSES"
+
+# --- chaos: kill a worker mid-sweep; the job must survive it --------------
+
+# 2 policies x 3 points x 3 reps = 18 cells, sized so each takes long
+# enough that the kill reliably lands while shards are in flight.
+SPEC_C='{"name":"smoke-chaos","workload":{"kind":"synthetic","synthetic":{"kernel":"MatMul","tasks":2000}},"policies":["RWS","DAM-C"],"points":[{"label":"P2","parallelism":2},{"label":"P4","parallelism":4},{"label":"P6","parallelism":6}],"reps":3,"seed":9}'
+CELLS_C=18
+
+# Ground truth: the undisturbed fingerprint, from the single node.
+SUBMIT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d "{\"spec\": $SPEC_C}" "$BASE/v1/jobs")"
+JOBREF="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
+[ -n "$JOBREF" ] || { echo "no job id in: $SUBMIT"; exit 1; }
+STATE=""
+for _ in $(seq 1 300); do
+	STATUS="$(curl -fsS "$BASE/v1/jobs/$JOBREF")"
+	STATE="$(printf '%s' "$STATUS" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+	[ "$STATE" = "done" ] && break
+	[ "$STATE" = "failed" ] && { echo "reference job failed: $STATUS"; exit 1; }
+	sleep 0.2
+done
+[ "$STATE" = "done" ] || { echo "reference job stuck in state '$STATE'"; exit 1; }
+FP_WANT="$(curl -fsS "$BASE/v1/results/$JOBREF" | sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p')"
+[ -n "$FP_WANT" ] || { echo "no reference fingerprint"; exit 1; }
+
+"$BIN" -addr 127.0.0.1:0 >"$W1LOG" 2>&1 &
+W1PID=$!
+W1ADDR="$(wait_addr "$W1LOG" "$W1PID")"
+"$BIN" -addr 127.0.0.1:0 >"$W2LOG" 2>&1 &
+W2PID=$!
+W2ADDR="$(wait_addr "$W2LOG" "$W2PID")"
+# Fresh coordinator (cold cell cache) with a hair-trigger breaker: the
+# first failure marks the dead worker down, and -probe-backoff 30s keeps
+# it down for the rest of the leg so /v1/healthz shows the open breaker.
+"$BIN" -addr 127.0.0.1:0 -peers "http://$W1ADDR,http://$W2ADDR" -shard 1 \
+	-retry-backoff 50ms -fail-threshold 1 -probe-backoff 30s >"$C2LOG" 2>&1 &
+C2PID=$!
+C2ADDR="$(wait_addr "$C2LOG" "$C2PID")"
+CHAOS="http://$C2ADDR"
+echo "chaos fleet up: coordinator $CHAOS, workers $W1ADDR + $W2ADDR"
+
+SUBMIT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d "{\"spec\": $SPEC_C}" "$CHAOS/v1/jobs")"
+JOBC="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
+[ -n "$JOBC" ] || { echo "no job id in: $SUBMIT"; exit 1; }
+
+# Wait until worker 1 has completed at least one cell — the sweep is
+# provably mid-flight — then SIGKILL it.
+W1RUNS=""
+for _ in $(seq 1 300); do
+	W1RUNS="$(curl -fsS "http://$W1ADDR/v1/healthz" | sed -n 's/.*"cell_runs": \([0-9]*\).*/\1/p')"
+	[ -n "$W1RUNS" ] && [ "$W1RUNS" -ge 1 ] && break
+	sleep 0.1
+done
+[ -n "$W1RUNS" ] && [ "$W1RUNS" -ge 1 ] || { echo "worker 1 never simulated a cell"; exit 1; }
+kill -9 "$W1PID"
+echo "killed worker 1 after $W1RUNS cells"
+
+STATE=""
+for _ in $(seq 1 300); do
+	STATUS="$(curl -fsS "$CHAOS/v1/jobs/$JOBC")"
+	STATE="$(printf '%s' "$STATUS" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+	[ "$STATE" = "done" ] && break
+	[ "$STATE" = "failed" ] && { echo "chaos job failed: $STATUS"; exit 1; }
+	sleep 0.2
+done
+[ "$STATE" = "done" ] || { echo "chaos job stuck in state '$STATE'"; exit 1; }
+
+# The fingerprint must be byte-identical to the undisturbed run.
+FP_GOT="$(curl -fsS "$CHAOS/v1/results/$JOBC" | sed -n 's/.*"fingerprint": "\([^"]*\)".*/\1/p')"
+[ "$FP_GOT" = "$FP_WANT" ] || {
+	echo "chaos fingerprint diverged:"; echo " want $FP_WANT"; echo " got  $FP_GOT"; exit 1; }
+
+# The coordinator's healthz must report the killed peer's open breaker.
+HEALTH="$(curl -fsS "$CHAOS/v1/healthz")"
+printf '%s' "$HEALTH" | grep -q '"state": "down"' \
+	|| { echo "killed worker not reported down: $HEALTH"; exit 1; }
+
+# Accounting: no cell may be lost or double-served by the job...
+HITS="$(printf '%s' "$STATUS" | sed -n 's/.*"cell_hits": \([0-9]*\).*/\1/p')"
+MISSES="$(printf '%s' "$STATUS" | sed -n 's/.*"cell_misses": \([0-9]*\).*/\1/p')"
+[ "$((HITS + MISSES))" = "$CELLS_C" ] \
+	|| { echo "chaos job served $HITS hits + $MISSES misses, want $CELLS_C cells: $STATUS"; exit 1; }
+# ...and the fleet's cell_runs must cover the whole grid: coordinator +
+# surviving worker + what worker 1 ran before the kill.
+C2RUNS="$(printf '%s' "$HEALTH" | sed -n 's/.*"cell_runs": \([0-9]*\).*/\1/p')"
+W2RUNS="$(curl -fsS "http://$W2ADDR/v1/healthz" | sed -n 's/.*"cell_runs": \([0-9]*\).*/\1/p')"
+TOTAL=$((C2RUNS + W2RUNS + W1RUNS))
+[ "$TOTAL" -ge "$CELLS_C" ] \
+	|| { echo "fleet cell_runs $C2RUNS+$W2RUNS+$W1RUNS = $TOTAL do not cover $CELLS_C cells"; exit 1; }
+echo "chaos smoke OK: fleet ran $TOTAL cells ($C2RUNS coord, $W2RUNS survivor, $W1RUNS pre-kill)"
 
 echo "asymd smoke OK"

@@ -32,6 +32,9 @@
 //	GET  /v1/results/{hash}  grid summary + bit-exact fingerprint
 //	GET  /v1/families        registered scenario families (sorted by name)
 //	GET  /v1/healthz         liveness + counters
+//	GET  /v1/jobs/{id}/trace Perfetto-loadable Chrome trace of the job
+//	GET  /metrics            Prometheus text exposition (disable: -metrics=false)
+//	GET  /debug/pprof/       net/http/pprof profiling (opt in: -pprof)
 //	POST /v1/shards          worker-facing: execute a batch of plan cells
 //
 // SIGINT/SIGTERM drain in-flight jobs before exit (bounded by -drain).
@@ -69,12 +72,20 @@ func main() {
 		probeBO   = flag.Duration("probe-backoff", time.Second, "initial down time before a down peer is re-probed, doubling with jitter")
 		drain     = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
 		jsonLog   = flag.Bool("json", false, "log JSON instead of text")
+		metrics   = flag.Bool("metrics", true, "serve the Prometheus registry at GET /metrics")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under GET /debug/pprof/")
+		traceKeep = flag.Int("trace-retention", 64, "finished job traces kept for GET /v1/jobs/{id}/trace (0 disables tracing)")
+		verbose   = flag.Bool("v", false, "log at debug level (includes /v1/healthz and /metrics scrapes)")
 	)
 	flag.Parse()
 
-	var handler slog.Handler = slog.NewTextHandler(os.Stdout, nil)
+	logOpts := &slog.HandlerOptions{}
+	if *verbose {
+		logOpts.Level = slog.LevelDebug
+	}
+	var handler slog.Handler = slog.NewTextHandler(os.Stdout, logOpts)
 	if *jsonLog {
-		handler = slog.NewJSONHandler(os.Stdout, nil)
+		handler = slog.NewJSONHandler(os.Stdout, logOpts)
 	}
 	logger := slog.New(handler)
 
@@ -104,6 +115,10 @@ func main() {
 		logger.Error("flag value must be non-negative (0 = GOMAXPROCS)", "flag", "-workers", "value", *workers)
 		os.Exit(2)
 	}
+	if *traceKeep < 0 {
+		logger.Error("flag value must be non-negative (0 = disable tracing)", "flag", "-trace-retention", "value", *traceKeep)
+		os.Exit(2)
+	}
 
 	var peerURLs []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -118,18 +133,28 @@ func main() {
 		peerURLs = append(peerURLs, p)
 	}
 
+	// Config reserves negative TraceRetention for "disabled" so its zero
+	// value keeps the default; the flag uses the friendlier 0.
+	traceRetention := *traceKeep
+	if traceRetention == 0 {
+		traceRetention = -1
+	}
+
 	mgr := service.NewManager(service.Config{
-		Workers:       *workers,
-		CacheSize:     *cache,
-		CellCacheSize: *cellCache,
-		ShardSize:     *shard,
-		Peers:         peerURLs,
-		ShardTimeout:  *shardTO,
-		DialTimeout:   *dialTO,
-		ShardRetries:  *retries,
-		RetryBackoff:  *backoff,
-		FailThreshold: *failThr,
-		ProbeBackoff:  *probeBO,
+		Workers:        *workers,
+		CacheSize:      *cache,
+		CellCacheSize:  *cellCache,
+		ShardSize:      *shard,
+		Peers:          peerURLs,
+		ShardTimeout:   *shardTO,
+		DialTimeout:    *dialTO,
+		ShardRetries:   *retries,
+		RetryBackoff:   *backoff,
+		FailThreshold:  *failThr,
+		ProbeBackoff:   *probeBO,
+		TraceRetention: traceRetention,
+		DisableMetrics: !*metrics,
+		EnablePprof:    *pprofOn,
 	})
 
 	// Listen before serving so "-addr :0" resolves to a concrete port we
@@ -144,7 +169,8 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	logger.Info("asymd listening", "addr", ln.Addr().String(), "workers", *workers,
-		"cache", *cache, "cellcache", *cellCache, "shard", *shard, "peers", len(peerURLs))
+		"cache", *cache, "cellcache", *cellCache, "shard", *shard, "peers", len(peerURLs),
+		"metrics", *metrics, "pprof", *pprofOn, "trace_retention", *traceKeep)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -9,11 +9,15 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dynasym/internal/obs"
 	"dynasym/internal/scenario"
+	"dynasym/internal/trace"
 )
 
 // CellResult is one cell's outcome. Err carries a deterministic engine
@@ -49,6 +53,12 @@ type localBackend struct {
 	sem chan struct{}
 	// cellRuns counts cells actually simulated (the cache-miss work).
 	cellRuns atomic.Int64
+	// busy, runs and runSec mirror the pool into the manager's metric
+	// registry (utilization gauge, run counter, duration histogram).
+	// They are nil-tolerant, so a bare test backend works unwired.
+	busy   *obs.Gauge
+	runs   *obs.Counter
+	runSec *obs.Histogram
 	// runCell is the engine entry point; tests substitute it to count
 	// runs or inject failures without simulating.
 	runCell func(*scenario.Plan, *scenario.CellState, scenario.CellJob) (scenario.RunMetrics, error)
@@ -89,12 +99,18 @@ func (b *localBackend) Execute(ctx context.Context, plan *scenario.Plan, cells [
 		workers = len(cells)
 	}
 	chunk := (len(cells) + workers - 1) / workers
+	jt := jobTraceFrom(ctx)
+	lanePrefix := traceLaneFrom(ctx)
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(order); lo += chunk {
 		wg.Add(1)
-		go func(idxs []int) {
+		go func(w int, idxs []int) {
 			defer wg.Done()
 			st := scenario.NewCellState()
+			lane := ""
+			if jt != nil {
+				lane = fmt.Sprintf("%s w%d", lanePrefix, w)
+			}
 			for _, i := range idxs {
 				// Check cancellation before racing it against a free
 				// worker slot: once the context is done, no further cell
@@ -110,11 +126,22 @@ func (b *localBackend) Execute(ctx context.Context, plan *scenario.Plan, cells [
 					return
 				}
 				b.cellRuns.Add(1)
+				b.runs.Inc()
+				b.busy.Inc()
+				cellT0, cellStart := jt.at(), time.Now()
 				rm, err := b.runCell(plan, st, cells[i])
+				b.runSec.Observe(time.Since(cellStart).Seconds())
+				b.busy.Dec()
+				if jt != nil {
+					jt.span(trace.Span{
+						Name: plan.CellLabel(cells[i]), Cat: "simulate",
+						Lane: lane, Start: cellT0, End: jt.at(),
+					})
+				}
 				out[i] = CellResult{Hash: cells[i].Hash, Metrics: rm, Err: err}
 				<-b.sem
 			}
-		}(order[lo:min(lo+chunk, len(order))])
+		}(lo/chunk, order[lo:min(lo+chunk, len(order))])
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

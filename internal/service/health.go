@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dynasym/internal/obs"
 )
 
 // peerState is a handle's circuit-breaker position.
@@ -60,6 +62,15 @@ type backendHandle struct {
 	// shard.
 	breaker bool
 
+	// Per-peer metric series, wired by setBackends for breaker-tracked
+	// handles (nil — and therefore inert — for the local pool):
+	// successful-attempt RTT, failed attempts, the breaker-state gauge
+	// (0 healthy, 1 probing, 2 down) and per-target transition counts.
+	rttSec      *obs.Histogram
+	failures    *obs.Counter
+	stateG      *obs.Gauge
+	transitions [peerDown + 1]*obs.Counter
+
 	mu         sync.Mutex
 	state      peerState
 	fails      int // consecutive transport failures
@@ -67,6 +78,17 @@ type backendHandle struct {
 	lastFailAt time.Time
 	nextProbe  time.Time // down: earliest next attempt
 	backoffExp int       // consecutive trips, drives the probe backoff
+}
+
+// setState moves the breaker state machine and keeps the gauge and
+// transition counters in step. Call with h.mu held.
+func (h *backendHandle) setState(s peerState) {
+	if h.state == s {
+		return
+	}
+	h.state = s
+	h.stateG.Set(int64(s))
+	h.transitions[s].Inc()
 }
 
 // setBackends (re)wraps a backend list in health handles; tests swap
@@ -77,6 +99,9 @@ func (m *Manager) setBackends(bs ...Backend) {
 	for i, b := range bs {
 		_, isLocal := b.(*localBackend)
 		hs[i] = &backendHandle{Backend: b, breaker: !isLocal}
+		if hs[i].breaker {
+			m.mx.wirePeerMetrics(hs[i])
+		}
 	}
 	m.handles = hs
 }
@@ -98,7 +123,7 @@ func (m *Manager) admit(h *backendHandle) bool {
 		if m.now().Before(h.nextProbe) {
 			return false
 		}
-		h.state = peerProbing
+		h.setState(peerProbing)
 		return true
 	default:
 		return true
@@ -113,7 +138,8 @@ func (m *Manager) report(h *backendHandle, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if err == nil {
-		h.state, h.fails, h.backoffExp, h.lastErr = peerHealthy, 0, 0, nil
+		h.setState(peerHealthy)
+		h.fails, h.backoffExp, h.lastErr = 0, 0, nil
 		return
 	}
 	h.fails++
@@ -132,7 +158,7 @@ func (m *Manager) report(h *backendHandle, err error) {
 		}
 		h.backoffExp++
 		h.nextProbe = m.now().Add(m.jitterDur(d))
-		h.state = peerDown
+		h.setState(peerDown)
 	}
 }
 

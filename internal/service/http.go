@@ -11,9 +11,18 @@ package service
 //	GET  /v1/results/{hash}  → 200 Result (409 while still running)
 //	GET  /v1/families        → 200 [{name, desc}], sorted by name
 //	GET  /v1/healthz         → 200 {ok, stats, peers: per-peer breaker state}
+//	GET  /v1/jobs/{id}/trace → 200 Chrome-trace JSON (load in Perfetto)
+//	GET  /metrics            → 200 Prometheus text exposition
+//	GET  /debug/pprof/*      net/http/pprof (only with Config.EnablePprof)
 //	POST /v1/shards          worker-facing: run a batch of plan cells
 //	                         {"spec": {...}, "cells": [{policy,point,rep,hash}]}
-//	                         → 200 {"results": [{hash, metrics|error}]}
+//	                         → 200 {"results": [{hash, metrics|error}],
+//	                         elapsed_ms, spans: worker-side timeline}
+//
+// Every request carries an X-Request-ID (echoed from the caller, minted
+// here otherwise); it is returned as a response header, attached to the
+// request log line, rides job submissions into outgoing shard POSTs, and
+// so correlates one submission's log lines across the whole fleet.
 //
 // Job IDs are spec hashes, so the jobs and results namespaces share keys:
 // submit returns the ID, poll /v1/jobs/{id} until "done", then fetch
@@ -31,10 +40,12 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"time"
 
 	"dynasym/internal/scenario"
+	"dynasym/internal/trace"
 )
 
 // maxSpecBytes bounds a submitted spec document.
@@ -81,8 +92,19 @@ func (m *Manager) Handler(logger *slog.Logger) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", m.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", m.handleTrace)
 	mux.HandleFunc("GET /v1/results/{hash}", m.handleResult)
 	mux.HandleFunc("POST /v1/shards", m.handleShards)
+	if !m.cfg.DisableMetrics {
+		mux.Handle("GET /metrics", m.reg.Handler())
+	}
+	if m.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return logRequests(logger, mux)
 }
 
@@ -129,12 +151,12 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("give either family or spec, not both"))
 		return
 	case req.Family != "":
-		job, existing, err = m.SubmitFamily(req.Family, req.Scale, req.Seed)
+		job, existing, err = m.submitFamily(req.Family, req.Scale, req.Seed, requestIDFrom(r.Context()))
 	case len(req.Spec) > 0:
 		var spec scenario.Spec
 		spec, err = scenario.ParseSpec(req.Spec)
 		if err == nil {
-			job, existing, err = m.Submit(spec)
+			job, existing, err = m.submit(spec, requestIDFrom(r.Context()))
 		}
 	default:
 		writeError(w, http.StatusBadRequest, errors.New("give a family or a spec"))
@@ -158,6 +180,21 @@ func (m *Manager) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// handleTrace exports a job's service-level timeline as Chrome-trace
+// JSON: one lane per backend attempt slot (plus nested worker-pool
+// lanes), one slice per shard/cell/phase. Save the body to a file and
+// open it in https://ui.perfetto.dev.
+func (m *Manager) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans, ok := m.JobTrace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no trace for job (unknown, evicted, or tracing disabled)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = spans.WriteChromeTrace(w)
 }
 
 func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -245,10 +282,18 @@ func (m *Manager) handleShards(w http.ResponseWriter, r *http.Request) {
 		cells[i] = c
 	}
 
+	// The worker records its own span timeline, offset from request
+	// receipt, and returns it with the results; the coordinator grafts it
+	// into the job trace (remote.go graftSpans), so the merged timeline
+	// shows wire time, worker pool slots and per-cell slices without any
+	// cross-node clock agreement.
+	shardT0 := m.now()
+	jt := newJobTrace(shardT0, m.now, trace.NewSpanSet(maxSpansPerJob))
+
 	cached, missing := m.probeCells(cells)
 	executed := make(map[string]CellResult, len(missing))
 	if len(missing) > 0 {
-		crs, err := m.local.Execute(r.Context(), plan, missing)
+		crs, err := m.local.Execute(withJobTrace(r.Context(), jt), plan, missing)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -259,6 +304,7 @@ func (m *Manager) handleShards(w http.ResponseWriter, r *http.Request) {
 		// the coordinator on another backend and must not be counted
 		// twice — for misses or for hits.
 		m.cellMisses.Add(int64(len(crs)))
+		m.mx.cellMisses.Add(int64(len(crs)))
 		for _, cr := range crs {
 			executed[cr.Hash] = cr
 		}
@@ -284,7 +330,22 @@ func (m *Manager) handleShards(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	m.cellHits.Add(hits)
-	writeJSON(w, http.StatusOK, shardResponse{Results: results})
+	m.mx.cellHits.Add(hits)
+
+	elapsed := m.now().Sub(shardT0)
+	resp := shardResponse{Results: results, ElapsedMS: float64(elapsed) / float64(time.Millisecond)}
+	resp.Spans = append(resp.Spans, wireSpan{
+		Name: fmt.Sprintf("serve shard (%d cells, %d cached)", len(cells), hits),
+		Cat:  "simulate", EndMS: resp.ElapsedMS,
+	})
+	for _, sp := range jt.spans.Spans() {
+		resp.Spans = append(resp.Spans, wireSpan{
+			Name: sp.Name, Cat: sp.Cat, Lane: sp.Lane,
+			StartMS: float64(sp.Start) / float64(time.Millisecond),
+			EndMS:   float64(sp.End) / float64(time.Millisecond),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -322,22 +383,50 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// logRequests emits one structured log line per request.
+// Flush passes streaming through to the underlying writer — wrapping
+// must not cost handlers (pprof's trace endpoint, long scrapes) their
+// ability to flush incrementally.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer for
+// interfaces this wrapper doesn't re-export.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// logRequests assigns each request its ID (echoing the caller's
+// X-Request-ID, minting one otherwise) and emits one structured log line
+// per request. Scrape traffic — /v1/healthz and /metrics, typically
+// polled every few seconds by monitoring — logs at Debug so an idle
+// node's log stays quiet at the default Info level.
 func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(withRequestID(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
-		logger.Info("request",
+		level := slog.LevelInfo
+		if r.URL.Path == "/v1/healthz" || r.URL.Path == "/metrics" {
+			level = slog.LevelDebug
+		}
+		logger.Log(r.Context(), level, "request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.code,
 			"bytes", sw.bytes,
 			"dur_ms", float64(time.Since(start).Microseconds())/1000,
 			"remote", r.RemoteAddr,
+			"request_id", id,
 		)
 	})
 }

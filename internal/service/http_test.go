@@ -388,12 +388,15 @@ func TestHTTPShardErrors(t *testing.T) {
 	}
 }
 
-// TestRequestLogging checks the middleware emits structured lines.
+// TestRequestLogging checks the middleware emits structured lines, that
+// scrape endpoints (/v1/healthz, /metrics) are demoted to Debug so the
+// default Info level stays quiet under monitoring polls, and that job
+// lines carry the request ID.
 func TestRequestLogging(t *testing.T) {
 	m := NewManager(Config{})
 	var buf bytes.Buffer
 	var mu sync.Mutex
-	logger := slog.New(slog.NewTextHandler(syncWriter{&mu, &buf}, nil))
+	logger := slog.New(slog.NewTextHandler(syncWriter{&mu, &buf}, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	srv := httptest.NewServer(m.Handler(logger))
 	defer srv.Close()
 	if code := getJSON(t, srv.URL+"/v1/healthz", nil); code != http.StatusOK {
@@ -402,10 +405,34 @@ func TestRequestLogging(t *testing.T) {
 	mu.Lock()
 	out := buf.String()
 	mu.Unlock()
-	for _, want := range []string{"method=GET", "path=/v1/healthz", "status=200", "dur_ms="} {
+	for _, want := range []string{"level=DEBUG", "method=GET", "path=/v1/healthz", "status=200", "dur_ms=", "request_id="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("request log %q missing %q", out, want)
 		}
+	}
+
+	// At the default Info level, scrapes are silent and job traffic is not.
+	mu.Lock()
+	buf.Reset()
+	mu.Unlock()
+	infoLogger := slog.New(slog.NewTextHandler(syncWriter{&mu, &buf}, nil))
+	infoSrv := httptest.NewServer(m.Handler(infoLogger))
+	defer infoSrv.Close()
+	if code := getJSON(t, infoSrv.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if code := getJSON(t, infoSrv.URL+"/metrics", nil); code != http.StatusOK {
+		t.Fatal("metrics failed")
+	}
+	getJSON(t, infoSrv.URL+"/v1/jobs", nil)
+	mu.Lock()
+	out = buf.String()
+	mu.Unlock()
+	if strings.Contains(out, "/v1/healthz") || strings.Contains(out, "/metrics") {
+		t.Errorf("scrape endpoints logged at info: %q", out)
+	}
+	if !strings.Contains(out, "path=/v1/jobs") || !strings.Contains(out, "request_id=") {
+		t.Errorf("job endpoint line missing from info log: %q", out)
 	}
 }
 

@@ -52,18 +52,23 @@ func (c *lruCache[V]) Peek(key string) (V, bool) {
 	return el.Value.(lruEntry[V]).val, true
 }
 
-func (c *lruCache[V]) Add(key string, v V) {
+// Add inserts (or refreshes) key and returns how many entries were
+// evicted past capacity, so callers can feed eviction counters.
+func (c *lruCache[V]) Add(key string, v V) int {
 	if el, ok := c.byKey[key]; ok {
 		el.Value = lruEntry[V]{key: key, val: v}
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.byKey[key] = c.order.PushFront(lruEntry[V]{key: key, val: v})
+	evicted := 0
 	for c.order.Len() > c.cap {
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.byKey, back.Value.(lruEntry[V]).key)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *lruCache[V]) Len() int { return c.order.Len() }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"dynasym/internal/scenario"
+	"dynasym/internal/trace"
 )
 
 // shardRequest is the POST /v1/shards body.
@@ -48,9 +49,27 @@ type shardCell struct {
 }
 
 // shardResponse is the POST /v1/shards reply: one entry per requested
-// cell, in request order.
+// cell, in request order. ElapsedMS and Spans let the coordinator graft
+// the worker's timeline into the job trace: ElapsedMS is the worker's
+// wall time for the shard, and each span's Start/End are offsets (ms)
+// from the worker's request receipt. The coordinator re-bases them into
+// the attempt window assuming symmetric wire time, so no cross-node
+// clock agreement is needed.
 type shardResponse struct {
-	Results []shardCellResult `json:"results"`
+	Results   []shardCellResult `json:"results"`
+	ElapsedMS float64           `json:"elapsed_ms,omitempty"`
+	Spans     []wireSpan        `json:"spans,omitempty"`
+}
+
+// wireSpan is a worker-side trace span in wire form. Lane "" is the
+// shard itself; other lanes (worker pool slots) are nested under the
+// coordinator's attempt lane by prefixing.
+type wireSpan struct {
+	Name    string  `json:"name"`
+	Cat     string  `json:"cat,omitempty"`
+	Lane    string  `json:"lane,omitempty"`
+	StartMS float64 `json:"start_ms"`
+	EndMS   float64 `json:"end_ms"`
 }
 
 type shardCellResult struct {
@@ -102,6 +121,44 @@ func newRemoteBackend(baseURL string, dialTimeout time.Duration, rt http.RoundTr
 
 func (r *remoteBackend) Name() string { return "peer " + r.url }
 
+// graftSpans merges the worker's shard timeline into the coordinator's
+// job trace. The attempt window [t0, t1] minus the worker's own elapsed
+// time is wire time, split symmetrically: the worker's offsets re-base
+// at t0 + oneWay. Worker lane "" lands on the attempt lane itself; pool
+// lanes ("w0", "w1", ...) nest under it by prefixing, so each worker
+// slot renders as its own Perfetto track. The residual wire time gets
+// explicit "wire" slices bracketing the worker span.
+func (r *remoteBackend) graftSpans(jt *jobTrace, lane string, t0, t1 time.Duration, sr *shardResponse) {
+	if jt == nil || sr.ElapsedMS <= 0 {
+		return
+	}
+	elapsed := time.Duration(sr.ElapsedMS * float64(time.Millisecond))
+	oneWay := (t1 - t0 - elapsed) / 2
+	if oneWay < 0 {
+		oneWay, elapsed = 0, t1-t0
+	}
+	base := t0 + oneWay
+	if oneWay > 0 {
+		jt.span(trace.Span{Name: "wire", Cat: "wire", Lane: lane, Start: t0, End: base})
+		jt.span(trace.Span{Name: "wire", Cat: "wire", Lane: lane, Start: base + elapsed, End: t1})
+	}
+	for _, ws := range sr.Spans {
+		l := lane
+		if ws.Lane != "" {
+			l = lane + " " + ws.Lane
+		}
+		start := base + time.Duration(ws.StartMS*float64(time.Millisecond))
+		end := base + time.Duration(ws.EndMS*float64(time.Millisecond))
+		if end > t1 {
+			end = t1
+		}
+		if start > end {
+			start = end
+		}
+		jt.span(trace.Span{Name: ws.Name, Cat: ws.Cat, Lane: l, Start: start, End: end})
+	}
+}
+
 func (r *remoteBackend) Execute(ctx context.Context, plan *scenario.Plan, cells []scenario.CellJob) ([]CellResult, error) {
 	// The plan carries its canonical encoding; re-marshaling here would
 	// re-encode the full spec (graph included, for dagfile workloads)
@@ -119,6 +176,11 @@ func (r *remoteBackend) Execute(ctx context.Context, plan *scenario.Plan, cells 
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if id := requestIDFrom(ctx); id != "" {
+		hreq.Header.Set("X-Request-ID", id)
+	}
+	jt := jobTraceFrom(ctx)
+	t0 := jt.at()
 	resp, err := r.client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("post shard: %w", err)
@@ -132,6 +194,7 @@ func (r *remoteBackend) Execute(ctx context.Context, plan *scenario.Plan, cells 
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxShardBytes)).Decode(&sr); err != nil {
 		return nil, fmt.Errorf("decode shard response: %w", err)
 	}
+	r.graftSpans(jt, traceLaneFrom(ctx), t0, jt.at(), &sr)
 	if len(sr.Results) != len(cells) {
 		return nil, fmt.Errorf("shard response has %d results for %d cells", len(sr.Results), len(cells))
 	}

@@ -35,7 +35,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynasym/internal/obs"
 	"dynasym/internal/scenario"
+	"dynasym/internal/trace"
 	"dynasym/internal/xrand"
 )
 
@@ -82,6 +84,15 @@ type Job struct {
 	state   atomic.Int32
 	done    chan struct{} // closed on completion
 	created time.Time
+
+	// reqID is the propagated request ID of the submission that created
+	// the job (X-Request-ID; generated when absent). Immutable.
+	reqID string
+	// spans holds the job's service-level trace while it is in flight;
+	// on completion the manager moves it into the trace-retention LRU
+	// and clears this pointer. traced records that tracing was on.
+	spans  atomic.Pointer[trace.SpanSet]
+	traced bool
 
 	cellsDone  atomic.Int64
 	cellsTotal atomic.Int64
@@ -145,8 +156,10 @@ type Status struct {
 	CacheHits  int64   `json:"cache_hits"`
 	Error      string  `json:"error,omitempty"`
 	CreatedAt  string  `json:"created_at"`
+	RequestID  string  `json:"request_id,omitempty"`
 	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
 	ResultURL  string  `json:"result_url,omitempty"`
+	TraceURL   string  `json:"trace_url,omitempty"`
 }
 
 // Snapshot captures the job's current status.
@@ -160,6 +173,10 @@ func (j *Job) Snapshot() Status {
 		CellMisses: j.cellMisses.Load(),
 		CacheHits:  j.hits.Load(),
 		CreatedAt:  j.created.UTC().Format(time.RFC3339Nano),
+		RequestID:  j.reqID,
+	}
+	if j.traced {
+		st.TraceURL = "/v1/jobs/" + j.Hash + "/trace"
 	}
 	switch j.State() {
 	case StateDone:
@@ -217,6 +234,15 @@ type Config struct {
 	// jittered by ±50%.
 	ProbeBackoff    time.Duration
 	ProbeMaxBackoff time.Duration
+	// TraceRetention bounds how many finished jobs keep their
+	// service-level span timeline for GET /v1/jobs/{id}/trace
+	// (default 64; < 0 disables job tracing entirely).
+	TraceRetention int
+	// DisableMetrics unmounts GET /metrics. Collection itself always
+	// runs — it is atomic updates, too cheap to gate.
+	DisableMetrics bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +279,9 @@ func (c Config) withDefaults() Config {
 	if c.ProbeMaxBackoff <= 0 {
 		c.ProbeMaxBackoff = time.Minute
 	}
+	if c.TraceRetention == 0 {
+		c.TraceRetention = 64
+	}
 	return c
 }
 
@@ -276,12 +305,18 @@ type Manager struct {
 	rngMu sync.Mutex
 	rng   *xrand.RNG
 
+	// reg and mx are the node's metric registry (served at /metrics)
+	// and the pre-registered service metric set.
+	reg *obs.Registry
+	mx  *serviceMetrics
+
 	mu       sync.Mutex
 	inflight map[string]*Job                // queued/running, by spec hash
 	cache    *lruCache[*Job]                // done/failed jobs, by spec hash
 	cells    *lruCache[scenario.RunMetrics] // finished cells, by cell hash
 	pending  map[string]*pendingCell        // cells being simulated, by cell hash
 	plans    *lruCache[*scenario.Plan]      // memoized plans, by spec hash (shard API)
+	traces   *lruCache[*trace.SpanSet]      // finished job traces, by spec hash (nil = tracing off)
 	closed   bool
 
 	wg   sync.WaitGroup // running job goroutines
@@ -295,10 +330,14 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	local := newLocalBackend(cfg.Workers)
+	reg := obs.NewRegistry()
+	mx := newServiceMetrics(reg)
 	m := &Manager{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
 		local:    local,
+		reg:      reg,
+		mx:       mx,
 		now:      time.Now,
 		sleep:    sleepCtx,
 		rng:      xrand.New(0x4ea1),
@@ -308,6 +347,13 @@ func NewManager(cfg Config) *Manager {
 		pending:  make(map[string]*pendingCell),
 		plans:    newLRUCache[*scenario.Plan](planCacheSize),
 	}
+	if cfg.TraceRetention > 0 {
+		m.traces = newLRUCache[*trace.SpanSet](cfg.TraceRetention)
+	}
+	mx.poolWorkers.Set(int64(cfg.Workers))
+	local.busy = mx.poolBusy
+	local.runs = mx.cellRuns
+	local.runSec = mx.cellRunSec
 	backends := []Backend{local}
 	for _, peer := range cfg.Peers {
 		backends = append(backends, NewRemoteBackend(peer, cfg.DialTimeout))
@@ -336,6 +382,12 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // job (no new engine run). The spec is validated and hashed up front, so
 // a bad spec errors here, synchronously.
 func (m *Manager) Submit(spec scenario.Spec) (job *Job, existing bool, err error) {
+	return m.submit(spec, "")
+}
+
+// submit is Submit with the originating request ID attached (HTTP path);
+// the ID rides the job into worker shard requests and log lines.
+func (m *Manager) submit(spec scenario.Spec, reqID string) (job *Job, existing bool, err error) {
 	// Strip execution-only fields: the service owns pool sizing and
 	// observation, and the hash ignores them anyway.
 	spec.Workers = 0
@@ -354,12 +406,15 @@ func (m *Manager) Submit(spec scenario.Spec) (job *Job, existing bool, err error
 	if m.closed {
 		return nil, false, fmt.Errorf("service: manager is shut down")
 	}
+	m.mx.jobsSubmitted.Inc()
 	if j, ok := m.inflight[hash]; ok {
 		j.hits.Add(1)
+		m.mx.jobsAbsorbed.Inc()
 		return j, true, nil
 	}
 	if j, ok := m.cache.Get(hash); ok {
 		j.hits.Add(1)
+		m.mx.jobsAbsorbed.Inc()
 		return j, true, nil
 	}
 
@@ -367,9 +422,15 @@ func (m *Manager) Submit(spec scenario.Spec) (job *Job, existing bool, err error
 		Hash:    hash,
 		Spec:    spec,
 		done:    make(chan struct{}),
-		created: time.Now(),
+		created: m.now(),
+		reqID:   reqID,
+		traced:  m.traces != nil,
+	}
+	if j.traced {
+		j.spans.Store(trace.NewSpanSet(maxSpansPerJob))
 	}
 	m.inflight[hash] = j
+	m.mx.jobsQueued.Inc()
 	m.wg.Add(1)
 	go m.execute(j)
 	return j, false, nil
@@ -378,6 +439,10 @@ func (m *Manager) Submit(spec scenario.Spec) (job *Job, existing bool, err error
 // SubmitFamily resolves a registered scenario family at a scale (seed
 // optionally overriding the family default) and submits it.
 func (m *Manager) SubmitFamily(name string, scale float64, seed *uint64) (*Job, bool, error) {
+	return m.submitFamily(name, scale, seed, "")
+}
+
+func (m *Manager) submitFamily(name string, scale float64, seed *uint64, reqID string) (*Job, bool, error) {
 	f, ok := scenario.Lookup(name)
 	if !ok {
 		return nil, false, fmt.Errorf("service: unknown scenario family %q (known: %v)", name, scenario.Names())
@@ -386,7 +451,7 @@ func (m *Manager) SubmitFamily(name string, scale float64, seed *uint64) (*Job, 
 	if seed != nil {
 		spec.Seed = *seed
 	}
-	return m.Submit(spec)
+	return m.submit(spec, reqID)
 }
 
 // execute runs one job: plan, serve cells from cache, dispatch the
@@ -398,26 +463,73 @@ func (m *Manager) execute(j *Job) {
 	defer func() { <-m.sem }()
 
 	j.state.Store(int32(StateRunning))
-	j.started = time.Now()
-	res, err := m.runJob(context.Background(), j)
+	j.started = m.now()
+	m.mx.jobsQueued.Dec()
+	m.mx.jobsRunning.Inc()
+	m.mx.jobQueueSec.Observe(j.started.Sub(j.created).Seconds())
+
+	// Thread the job's tracer and request ID through the dispatch path:
+	// backends record spans and remote shard POSTs carry the ID.
+	var jt *jobTrace
+	ctx := withRequestID(context.Background(), j.reqID)
+	if spans := j.spans.Load(); spans != nil {
+		jt = newJobTrace(j.created, m.now, spans)
+		jt.span(trace.Span{Name: "queued", Cat: "job", Lane: "job",
+			Start: 0, End: jt.at()})
+		ctx = withJobTrace(ctx, jt)
+	}
+
+	res, err := m.runJob(ctx, j)
 	m.runs.Add(1)
-	j.finished = time.Now()
+	j.finished = m.now()
 	j.elapsed = j.finished.Sub(j.started)
+	m.mx.jobsRunning.Dec()
+	m.mx.jobRunSec.Observe(j.elapsed.Seconds())
 	if err != nil {
 		j.fperr = err
 		j.state.Store(int32(StateFailed))
+		m.mx.jobsFailed.Inc()
 	} else {
 		j.result = res
 		j.fprint = res.Fingerprint()
 		j.state.Store(int32(StateDone))
+		m.mx.jobsDone.Inc()
 	}
 
 	m.mu.Lock()
 	delete(m.inflight, j.Hash)
-	m.cache.Add(j.Hash, j)
+	m.mx.jobEvict.Add(int64(m.cache.Add(j.Hash, j)))
+	if spans := j.spans.Load(); spans != nil && m.traces != nil {
+		// The finished trace moves into the retention LRU; the job keeps
+		// only the traced flag. Drops are surfaced as a counter so a
+		// truncated timeline is visible in /metrics, not just puzzling.
+		m.traces.Add(j.Hash, spans)
+		m.mx.traceSpansDropped.Add(spans.Dropped())
+		j.spans.Store(nil)
+	}
 	m.mu.Unlock()
 	close(j.done)
 }
+
+// JobTrace returns a job's service-level span timeline: the live set for
+// an in-flight job, the retained one for a finished job.
+func (m *Manager) JobTrace(hash string) (*trace.SpanSet, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[hash]; ok {
+		if spans := j.spans.Load(); spans != nil {
+			return spans, true
+		}
+	}
+	if m.traces == nil {
+		return nil, false
+	}
+	return m.traces.Get(hash)
+}
+
+// Registry exposes the node's metric registry (the /metrics content);
+// callers may register their own series alongside the service's.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
 
 // pendingCell is one cell currently being simulated by some job. Other
 // jobs needing the same cell subscribe to done instead of re-simulating;
@@ -439,10 +551,13 @@ const planCacheSize = 64
 // runJob assembles one job's result from cached cells, cells another job
 // is already simulating (in-flight dedupe), and freshly dispatched cells.
 func (m *Manager) runJob(ctx context.Context, j *Job) (*scenario.Result, error) {
+	jt := jobTraceFrom(ctx)
+	planT0 := jt.at()
 	plan, err := m.planFor(j.Hash, j.Spec)
 	if err != nil {
 		return nil, err
 	}
+	jt.span(trace.Span{Name: "plan", Cat: "job", Lane: "job", Start: planT0, End: jt.at()})
 	j.cellsTotal.Store(int64(len(plan.Cells)))
 
 	// Dedupe the grid by cell hash (points with identical parameters under
@@ -519,6 +634,8 @@ func (m *Manager) runJob(ctx context.Context, j *Job) (*scenario.Result, error) 
 	}
 	m.cellHits.Add(hits)
 	m.cellMisses.Add(misses)
+	m.mx.cellHits.Add(hits)
+	m.mx.cellMisses.Add(misses)
 	j.cellHits.Store(hits)
 	j.cellMisses.Store(misses)
 	j.cellsDone.Store(hits)
@@ -527,7 +644,11 @@ func (m *Manager) runJob(ctx context.Context, j *Job) (*scenario.Result, error) 
 	// Dispatch own claims first — subscribers may be waiting on them;
 	// bankCells resolves each pending as its shard lands.
 	if len(claimed) > 0 {
+		dispT0 := jt.at()
 		fresh, err := m.dispatch(ctx, plan, claimed, onDone)
+		jt.span(trace.Span{Name: "dispatch", Cat: "job", Lane: "job",
+			Start: dispT0, End: jt.at(),
+			Args: map[string]string{"cells": fmt.Sprint(len(claimed))}})
 		if err != nil {
 			return nil, err
 		}
@@ -540,23 +661,34 @@ func (m *Manager) runJob(ctx context.Context, j *Job) (*scenario.Result, error) 
 	// back to a second dispatch by this job (duplicating work only in
 	// that failure path).
 	var fallback []scenario.CellJob
-	for h, p := range waits {
-		<-p.done
-		if p.ok {
-			results[h] = p.rm
-			m.cellHits.Add(mult[h])
-			j.cellHits.Add(mult[h])
-			onDone(byHash[h])
-		} else {
-			fallback = append(fallback, byHash[h])
+	if len(waits) > 0 {
+		waitT0 := jt.at()
+		for h, p := range waits {
+			<-p.done
+			if p.ok {
+				results[h] = p.rm
+				m.cellHits.Add(mult[h])
+				m.mx.cellHits.Add(mult[h])
+				j.cellHits.Add(mult[h])
+				onDone(byHash[h])
+			} else {
+				fallback = append(fallback, byHash[h])
+			}
 		}
+		jt.span(trace.Span{Name: "await-shared-cells", Cat: "job", Lane: "job",
+			Start: waitT0, End: jt.at(),
+			Args: map[string]string{"cells": fmt.Sprint(len(waits))}})
 	}
 	if len(fallback) > 0 {
 		for _, c := range fallback {
 			m.cellMisses.Add(mult[c.Hash])
+			m.mx.cellMisses.Add(mult[c.Hash])
 			j.cellMisses.Add(mult[c.Hash])
 		}
+		dispT0 := jt.at()
 		fresh, err := m.dispatch(ctx, plan, fallback, onDone)
+		jt.span(trace.Span{Name: "dispatch-fallback", Cat: "job", Lane: "job",
+			Start: dispT0, End: jt.at()})
 		if err != nil {
 			return nil, err
 		}
@@ -565,10 +697,12 @@ func (m *Manager) runJob(ctx context.Context, j *Job) (*scenario.Result, error) 
 		}
 	}
 
+	mergeT0 := jt.at()
 	res, err := scenario.Merge(plan, results)
 	if err != nil {
 		return nil, err
 	}
+	jt.span(trace.Span{Name: "merge", Cat: "merge", Lane: "job", Start: mergeT0, End: jt.at()})
 	j.cellsDone.Store(int64(len(plan.Cells)))
 	return res, nil
 }
@@ -698,11 +832,12 @@ func (m *Manager) probeCells(cells []scenario.CellJob) (cached map[string]scenar
 func (m *Manager) bankCells(crs []CellResult) {
 	m.mu.Lock()
 	var resolved []*pendingCell
+	evicted := int64(0)
 	for _, cr := range crs {
 		if cr.Err != nil {
 			continue
 		}
-		m.cells.Add(cr.Hash, cr.Metrics)
+		evicted += int64(m.cells.Add(cr.Hash, cr.Metrics))
 		if p, ok := m.pending[cr.Hash]; ok {
 			p.rm, p.ok = cr.Metrics, true
 			delete(m.pending, cr.Hash)
@@ -710,6 +845,7 @@ func (m *Manager) bankCells(crs []CellResult) {
 		}
 	}
 	m.mu.Unlock()
+	m.mx.cellEvict.Add(evicted)
 	for _, p := range resolved {
 		close(p.done)
 	}
@@ -730,13 +866,17 @@ func (m *Manager) bankCells(crs []CellResult) {
 // errors.Join: an exhausted shard reports every cause, not just the last.
 func (m *Manager) runShard(ctx context.Context, si int, plan *scenario.Plan, shard []scenario.CellJob) ([]CellResult, error) {
 	n := len(m.handles)
+	jt := jobTraceFrom(ctx)
 	done := make(map[string]CellResult, len(shard))
 	remaining := shard
 	var attemptErrs []error
 	for round := 0; round < m.cfg.ShardRetries && len(remaining) > 0; round++ {
-		if round > 0 && m.cfg.RetryBackoff > 0 {
-			if err := m.sleep(ctx, m.jitterDur(m.cfg.RetryBackoff<<(round-1))); err != nil {
-				return nil, err
+		if round > 0 {
+			m.mx.shardRetryRounds.Inc()
+			if m.cfg.RetryBackoff > 0 {
+				if err := m.sleep(ctx, m.jitterDur(m.cfg.RetryBackoff<<(round-1))); err != nil {
+					return nil, err
+				}
 			}
 		}
 		for attempt := 0; attempt < n && len(remaining) > 0; attempt++ {
@@ -748,14 +888,40 @@ func (m *Manager) runShard(ctx context.Context, si int, plan *scenario.Plan, sha
 			if _, isLocal := h.Backend.(*localBackend); !isLocal && m.cfg.ShardTimeout > 0 {
 				actx, cancel = context.WithTimeout(ctx, m.cfg.ShardTimeout)
 			}
+			// The attempt gets a leased display lane on the backend's
+			// track group; nested spans (local cell runs, the worker's
+			// own timeline) attach under it via the context.
+			lane, releaseLane := jt.lane(h.Name())
+			actx = withTraceLane(actx, lane)
+			attemptT0 := jt.at()
+			attemptStart := m.now()
 			crs, err := h.Execute(actx, plan, remaining)
+			rtt := m.now().Sub(attemptStart)
 			cancel()
 			if err == nil && len(crs) != len(remaining) {
 				err = fmt.Errorf("returned %d results for %d cells", len(crs), len(remaining))
 				crs = nil
 			}
+			if jt != nil {
+				outcome := "ok"
+				if err != nil {
+					outcome = "error: " + err.Error()
+				}
+				jt.span(trace.Span{
+					Name: fmt.Sprintf("shard %d", si), Cat: "dispatch", Lane: lane,
+					Start: attemptT0, End: jt.at(),
+					Args: map[string]string{
+						"backend": h.Name(),
+						"round":   fmt.Sprint(round),
+						"cells":   fmt.Sprint(len(remaining)),
+						"outcome": outcome,
+					},
+				})
+			}
+			releaseLane()
 			if err == nil {
 				m.report(h, nil)
+				h.rttSec.Observe(rtt.Seconds())
 				for _, cr := range crs {
 					done[cr.Hash] = cr
 				}
@@ -763,11 +929,24 @@ func (m *Manager) runShard(ctx context.Context, si int, plan *scenario.Plan, sha
 				break
 			}
 			if ctx.Err() != nil {
-				// The dispatch itself was cancelled — abort without
-				// blaming the peer for our own teardown.
+				// The dispatch itself was cancelled — bank whatever cells
+				// completed before the teardown (finished simulation work
+				// must survive even a failing job), then abort without
+				// blaming the peer.
+				var partial []CellResult
+				for _, cr := range crs {
+					if cr.Hash != "" {
+						partial = append(partial, cr)
+					}
+				}
+				if len(partial) > 0 {
+					m.bankCells(partial)
+				}
 				return nil, ctx.Err()
 			}
 			m.report(h, err)
+			h.failures.Inc()
+			m.mx.shardFailovers.Inc()
 			attemptErrs = append(attemptErrs, fmt.Errorf("backend %s: %w", h.Name(), err))
 			var partial []CellResult
 			for _, cr := range crs {

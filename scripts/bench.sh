@@ -32,6 +32,7 @@ run 'BenchmarkDurationConstant$|BenchmarkDurationDVFS$' ./internal/machine
 run 'BenchmarkServiceCacheHit$|BenchmarkServiceColdRun$|BenchmarkShardDispatch$|BenchmarkCellAssemblyWarm$' ./internal/service
 run 'BenchmarkImportDOT$|BenchmarkBuildCholesky$|BenchmarkBuildCholeskyAmortized$' ./internal/dagio
 run 'BenchmarkCompiledCellRun$|BenchmarkUncompiledCellRun$' ./internal/scenario
+run 'BenchmarkMetricsHotPath$|BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkWritePrometheus$' ./internal/obs
 
 {
 	printf '{\n'

@@ -13,6 +13,12 @@
 #     undisturbed single-node run produces, the dead peer is reported
 #     down by /v1/healthz, and the fleet's cell_runs cover the grid.
 #
+# Observability rides each leg: /metrics is scraped before and after the
+# single-node sweep (asymd_cell_runs_total must advance), the job's
+# Perfetto trace is fetched from /v1/jobs/{id}/trace, pprof must 404
+# without -pprof and serve with it, and after the chaos kill the
+# coordinator's breaker gauge must read 2 (down) for the dead peer.
+#
 # Used by CI (asymd-smoke job) and runnable locally.
 set -eu
 
@@ -25,8 +31,9 @@ CLOG="$(mktemp)"
 W1LOG="$(mktemp)"
 W2LOG="$(mktemp)"
 C2LOG="$(mktemp)"
-trap 'kill "$PID" "$WPID" "$CPID" "$W1PID" "$W2PID" "$C2PID" 2>/dev/null || true; rm -f "$LOG" "$WLOG" "$CLOG" "$W1LOG" "$W2LOG" "$C2LOG"' EXIT
-PID=""; WPID=""; CPID=""; W1PID=""; W2PID=""; C2PID=""
+PLOG="$(mktemp)"
+trap 'kill "$PID" "$WPID" "$CPID" "$W1PID" "$W2PID" "$C2PID" "$PFPID" 2>/dev/null || true; rm -f "$LOG" "$WLOG" "$CLOG" "$W1LOG" "$W2LOG" "$C2LOG" "$PLOG"' EXIT
+PID=""; WPID=""; CPID=""; W1PID=""; W2PID=""; C2PID=""; PFPID=""
 
 go build -o "$BIN" ./cmd/asymd
 
@@ -60,6 +67,10 @@ echo "asymd up at $BASE"
 
 curl -fsS "$BASE/v1/healthz" | grep -q '"ok": true' || { echo "healthz failed"; exit 1; }
 
+# Scrape the registry before the sweep; the counter starts at zero.
+CR0="$(curl -fsS "$BASE/metrics" | sed -n 's/^asymd_cell_runs_total \([0-9]*\)$/\1/p')"
+[ -n "$CR0" ] || { echo "asymd_cell_runs_total missing from /metrics"; exit 1; }
+
 SUBMIT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
 	-d '{"family": "burst-sweep", "scale": 0.01}' "$BASE/v1/jobs")"
 JOB="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')"
@@ -90,6 +101,39 @@ curl -fsS "$BASE/v1/jobs" | grep -q "\"id\": \"$JOB\"" \
 	|| { echo "job $JOB missing from GET /v1/jobs"; exit 1; }
 
 echo "single-node smoke OK"
+
+# --- observability: /metrics, the job trace, and the pprof gate -----------
+
+# The sweep must have advanced the cell-run counter and the done counter.
+CR1="$(curl -fsS "$BASE/metrics" | sed -n 's/^asymd_cell_runs_total \([0-9]*\)$/\1/p')"
+[ -n "$CR1" ] && [ "$CR1" -gt "$CR0" ] \
+	|| { echo "asymd_cell_runs_total went $CR0 -> $CR1 over a sweep, want an increase"; exit 1; }
+curl -fsS "$BASE/metrics" | grep -q '^asymd_jobs_done_total [1-9]' \
+	|| { echo "asymd_jobs_done_total did not advance"; exit 1; }
+echo "metrics OK: cell_runs $CR0 -> $CR1"
+
+# The finished job advertises its trace; the export is a Chrome trace
+# with named lanes and simulate slices (load it in ui.perfetto.dev).
+TRACE_URL="$(curl -fsS "$BASE/v1/jobs/$JOB" | sed -n 's/.*"trace_url": "\([^"]*\)".*/\1/p')"
+[ -n "$TRACE_URL" ] || { echo "finished job advertises no trace_url"; exit 1; }
+TRACE="$(curl -fsS "$BASE$TRACE_URL")"
+printf '%s' "$TRACE" | grep -q '"thread_name"' \
+	|| { echo "trace has no lane metadata: $TRACE"; exit 1; }
+printf '%s' "$TRACE" | grep -q '"cat":"simulate"' \
+	|| { echo "trace has no simulate slices: $TRACE"; exit 1; }
+echo "trace OK: $TRACE_URL"
+
+# pprof is opt-in: 404 on the default node, served with -pprof.
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")"
+[ "$CODE" = "404" ] || { echo "pprof served without -pprof (status $CODE)"; exit 1; }
+"$BIN" -addr 127.0.0.1:0 -pprof >"$PLOG" 2>&1 &
+PFPID=$!
+PADDR="$(wait_addr "$PLOG" "$PFPID")"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' "http://$PADDR/debug/pprof/")"
+[ "$CODE" = "200" ] || { echo "pprof index returned $CODE with -pprof, want 200"; exit 1; }
+kill "$PFPID" 2>/dev/null || true
+PFPID=""
+echo "pprof gate OK"
 
 # --- batched same-graph sweep: cell_runs must reflect exact cell counts ---
 
@@ -254,10 +298,18 @@ FP_GOT="$(curl -fsS "$CHAOS/v1/results/$JOBC" | sed -n 's/.*"fingerprint": "\([^
 [ "$FP_GOT" = "$FP_WANT" ] || {
 	echo "chaos fingerprint diverged:"; echo " want $FP_WANT"; echo " got  $FP_GOT"; exit 1; }
 
-# The coordinator's healthz must report the killed peer's open breaker.
+# The coordinator's healthz must report the killed peer's open breaker,
+# and the breaker gauge must have flipped to 2 (down) for that peer.
 HEALTH="$(curl -fsS "$CHAOS/v1/healthz")"
 printf '%s' "$HEALTH" | grep -q '"state": "down"' \
 	|| { echo "killed worker not reported down: $HEALTH"; exit 1; }
+CHAOS_METRICS="$(curl -fsS "$CHAOS/metrics")"
+printf '%s' "$CHAOS_METRICS" | grep -qF "asymd_breaker_state{peer=\"http://$W1ADDR\"} 2" \
+	|| { echo "breaker gauge for killed worker is not 2 (down):"; \
+	     printf '%s\n' "$CHAOS_METRICS" | grep asymd_breaker_state; exit 1; }
+printf '%s' "$CHAOS_METRICS" | grep -q '^asymd_shard_failovers_total [1-9]' \
+	|| { echo "no shard failovers recorded after worker kill"; exit 1; }
+echo "chaos metrics OK: breaker down, failovers recorded"
 
 # Accounting: no cell may be lost or double-served by the job...
 HITS="$(printf '%s' "$STATUS" | sed -n 's/.*"cell_hits": \([0-9]*\).*/\1/p')"

@@ -171,8 +171,13 @@ func (p *policy) DispatchPlace(ctx *Context) topology.Place {
 // localBest performs the paper's local search: the resource partition and
 // core stay fixed (the place must contain `core`), only the width is
 // molded. Unmeasured places (zero entries) win immediately so every width
-// is explored at least once.
+// is explored at least once. The MinCost search — the only one the Table 1
+// policies use — is served from the table's per-core cached best, which
+// only rescans after an update.
 func localBest(t *ptt.Table, topo *topology.Platform, core int, obj Objective) topology.Place {
+	if obj == MinCost {
+		return topo.Places()[t.BestLocalCost(core)]
+	}
 	best := topology.Place{Leader: core, Width: 1}
 	bestScore := score(t, best, obj)
 	for _, w := range topo.WidthsFor(core) {
@@ -193,20 +198,22 @@ func localBest(t *ptt.Table, topo *topology.Platform, core int, obj Objective) t
 // globalBest performs the paper's global search over every execution place
 // in the system. widthOne restricts the sweep to single-core places (the
 // non-moldable DA scheduler). Ties keep the first place in platform order,
-// which makes exploration deterministic.
+// which makes exploration deterministic. All three variants are served
+// from the table's generation-stamped caches, so between PTT updates a
+// decision costs one atomic load instead of a full-table scan.
 func globalBest(t *ptt.Table, topo *topology.Platform, obj Objective, widthOne bool) topology.Place {
-	var best topology.Place
-	bestScore := -1.0
-	for _, pl := range topo.Places() {
-		if widthOne && pl.Width != 1 {
-			continue
-		}
-		s := score(t, pl, obj)
-		if bestScore < 0 || s < bestScore {
-			best, bestScore = pl, s
-		}
+	var id int
+	switch {
+	case widthOne:
+		// Width-1 places have cost == time, so one cache serves both
+		// objectives.
+		id = t.BestGlobalW1()
+	case obj == MinCost:
+		id = t.BestGlobalCost()
+	default:
+		id = t.BestGlobalTime()
 	}
-	return best
+	return topo.Places()[id]
 }
 
 // score returns the search objective for one place; zero-valued (never

@@ -46,29 +46,35 @@ func (s Sampled) DispatchPlace(ctx *Context) topology.Place {
 	if !ctx.High || ctx.Table == nil {
 		return s.Policy.DispatchPlace(ctx)
 	}
-	obj := MinCost
-	if s.Policy.Name() == "DAM-P" {
-		obj = MinTime
-	}
+	minCost := s.Policy.Name() != "DAM-P"
+	t := ctx.Table
 	places := ctx.Topo.Places()
-	// Candidate set: local cluster places + K random samples. Unmeasured
-	// candidates keep the exploration property within the sample.
-	best := topology.Place{Leader: ctx.Self, Width: 1}
-	bestScore := score(ctx.Table, best, obj)
-	consider := func(pl topology.Place) {
-		if sc := score(ctx.Table, pl, obj); sc < bestScore {
-			best, bestScore = pl, sc
+	// Candidate set: local cluster places + K random samples, compared by
+	// dense place id (a place's index in Places is its id) so each probe is
+	// one table load. Unmeasured candidates keep the exploration property
+	// within the sample.
+	scoreID := func(id int) float64 {
+		v := t.ValueByID(id)
+		if minCost {
+			v *= float64(places[id].Width)
 		}
+		return v
 	}
-	for _, w := range ctx.Topo.WidthsFor(ctx.Self) {
-		if pl, ok := ctx.Topo.PlaceFor(ctx.Self, w); ok {
-			consider(pl)
+	local := ctx.Topo.LocalPlaceIDs(ctx.Self)
+	bestID := int(local[0]) // widths ascend, so entry 0 is (Self, 1)
+	bestScore := scoreID(bestID)
+	for _, cid := range local[1:] {
+		if sc := scoreID(int(cid)); sc < bestScore {
+			bestID, bestScore = int(cid), sc
 		}
 	}
 	for i := 0; i < s.K; i++ {
-		consider(places[ctx.Rand.Intn(len(places))])
+		if id := ctx.Rand.Intn(len(places)); scoreID(id) < bestScore {
+			bestID = id
+			bestScore = scoreID(id)
+		}
 	}
-	return best
+	return places[bestID]
 }
 
 func itoa(n int) string {

@@ -81,8 +81,16 @@ type Task struct {
 	succs   []*Task
 }
 
-// ID returns the task's graph-assigned identifier.
+// ID returns the task's graph-assigned identifier (its insertion index).
 func (t *Task) ID() int64 { return t.id }
+
+// Succs returns the task's current successor list. The returned slice
+// aliases graph state: callers must not modify it and should read it only
+// while the graph is quiescent (simrt snapshots it before execution).
+func (t *Task) Succs() []*Task { return t.succs }
+
+// PendingDeps returns the task's current unsatisfied-dependency count.
+func (t *Task) PendingDeps() int32 { return t.pending.Load() }
 
 // State returns the task's current lifecycle state.
 func (t *Task) State() State { return State(t.state.Load()) }
@@ -267,6 +275,38 @@ func (g *Graph) Tasks() []*Task {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return append([]*Task(nil), g.tasks...)
+}
+
+// AppendTasks appends the tasks with insertion index ≥ from to dst in
+// order, reusing dst's capacity. Runtimes use it to snapshot the graph
+// (from = 0) and to catch their task mirrors up after dynamic insertions
+// without allocating a fresh slice per call.
+func (g *Graph) AppendTasks(dst []*Task, from int) []*Task {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(g.tasks) {
+		return dst
+	}
+	return append(dst, g.tasks[from:]...)
+}
+
+// MarkDrained finalizes a graph whose execution was tracked outside the
+// graph (simrt's static fast path keeps readiness counts in its own dense
+// arrays): every task is stored Done with no pending dependencies and the
+// outstanding count drops to zero — exactly the state the equivalent
+// sequence of Complete calls would have left. It must only be called when
+// every task has in fact executed.
+func (g *Graph) MarkDrained() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, t := range g.tasks {
+		t.pending.Store(0)
+		t.state.Store(int32(Done))
+	}
+	g.outstanding.Store(0)
 }
 
 // Validate checks that the graph (as currently constructed) is acyclic and

@@ -44,6 +44,10 @@ type Collector struct {
 	byIterSparse map[int]*iterAgg
 	tasksDone    int64
 	makespan     float64
+	// aggFree pools retired iterAggs (and their place-pair storage) across
+	// Reset cycles so pooled runtimes reach a steady state with no
+	// per-iteration allocations.
+	aggFree []*iterAgg
 }
 
 // iterAgg is the collector's internal per-iteration accumulator.
@@ -58,6 +62,26 @@ type iterAgg struct {
 type placeCount struct {
 	id int
 	n  int64
+}
+
+// newIterAgg allocates one per-iteration accumulator with its place pairs
+// pre-sized so typical iterations (a few distinct places) never regrow the
+// slice; the repeated doubling from zero was the collector's dominant
+// allocation source on the simulation hot path.
+func (c *Collector) newIterAgg(iter int, start, finish float64) *iterAgg {
+	if n := len(c.aggFree); n > 0 {
+		st := c.aggFree[n-1]
+		c.aggFree[n-1] = nil
+		c.aggFree = c.aggFree[:n-1]
+		*st = iterAgg{iter: iter, start: start, end: finish, places: st.places[:0]}
+		return st
+	}
+	return &iterAgg{
+		iter:   iter,
+		start:  start,
+		end:    finish,
+		places: make([]placeCount, 0, 16),
+	}
 }
 
 // bump increments the count for a placeID.
@@ -94,9 +118,54 @@ func NewCollector(topo *topology.Platform) *Collector {
 	}
 }
 
+// Reset returns the collector to the observable state NewCollector(topo)
+// produces while reusing its storage, including the per-iteration
+// accumulators, which move to a freelist for the next run. The platform may
+// differ from the one the collector was built with; pooled runtimes rebuild
+// their topology per run.
+func (c *Collector) Reset(topo *topology.Platform) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.topo = topo
+	if n := topo.NumCores(); n != len(c.coreBusy) {
+		c.coreBusy = make([]float64, n)
+	} else {
+		for i := range c.coreBusy {
+			c.coreBusy[i] = 0
+		}
+	}
+	if n := len(topo.Places()); n != len(c.placeAll) {
+		c.placeAll = make([]int64, n)
+		c.placeHigh = make([]int64, n)
+	} else {
+		for i := range c.placeAll {
+			c.placeAll[i] = 0
+			c.placeHigh[i] = 0
+		}
+	}
+	for i, st := range c.byIter {
+		if st != nil {
+			c.aggFree = append(c.aggFree, st)
+			c.byIter[i] = nil
+		}
+	}
+	c.byIter = c.byIter[:0]
+	for iter, st := range c.byIterSparse {
+		c.aggFree = append(c.aggFree, st)
+		delete(c.byIterSparse, iter)
+	}
+	c.tasksDone = 0
+	c.makespan = 0
+}
+
 // TaskDone records one completed task execution.
-func (c *Collector) TaskDone(pl topology.Place, high bool, _ ptt.TypeID, iter int, start, finish float64) {
-	id := c.topo.PlaceID(pl)
+func (c *Collector) TaskDone(pl topology.Place, high bool, typ ptt.TypeID, iter int, start, finish float64) {
+	c.TaskDoneID(c.topo.PlaceID(pl), pl, high, typ, iter, start, finish)
+}
+
+// TaskDoneID is TaskDone with the place's dense id already resolved — the
+// simulated runtime resolves it once at dispatch and reuses it here.
+func (c *Collector) TaskDoneID(id int, pl topology.Place, high bool, _ ptt.TypeID, iter int, start, finish float64) {
 	span := finish - start
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -115,7 +184,7 @@ func (c *Collector) TaskDone(pl topology.Place, high bool, _ ptt.TypeID, iter in
 				c.byIter = append(c.byIter, nil)
 			}
 			if st = c.byIter[iter]; st == nil {
-				st = &iterAgg{iter: iter, start: start, end: finish}
+				st = c.newIterAgg(iter, start, finish)
 				c.byIter[iter] = st
 			}
 		} else {
@@ -123,7 +192,7 @@ func (c *Collector) TaskDone(pl topology.Place, high bool, _ ptt.TypeID, iter in
 				c.byIterSparse = make(map[int]*iterAgg)
 			}
 			if st = c.byIterSparse[iter]; st == nil {
-				st = &iterAgg{iter: iter, start: start, end: finish}
+				st = c.newIterAgg(iter, start, finish)
 				c.byIterSparse[iter] = st
 			}
 		}

@@ -39,12 +39,28 @@ type TypeID int
 // share a word, and a worker's local places are contiguous.
 type Table struct {
 	topo *topology.Platform
-	// alpha is the weight of the new observation (paper: 1/5).
-	alpha float64
+	// alpha is the weight of the new observation (paper: 1/5);
+	// oneMinusAlpha is its precomputed complement so the update rule is one
+	// fused multiply-add per observation.
+	alpha         float64
+	oneMinusAlpha float64
 	// entries[placeID] holds the float64 bits of the weighted average.
 	entries []atomic.Uint64
 	// counts[placeID] counts updates, for diagnostics and reports.
 	counts []atomic.Uint64
+	// gen counts successful updates, starting at 1, and stamps the cached
+	// best-place words below: a cache word whose stamp equals gen reflects
+	// the current entries; any update (or Reset) invalidates every cache by
+	// bumping gen. Schedulers query a best place on each dispatch decision
+	// but the table only changes on task completion, so between completions
+	// the minimizing searches collapse to one atomic load.
+	gen atomic.Uint64
+	// Cached minimizing-search results, packed gen<<bestIDBits | (id+1);
+	// zero means never computed. bestLocalCost is indexed by core.
+	bestCostAll   atomic.Uint64
+	bestTimeAll   atomic.Uint64
+	bestW1        atomic.Uint64
+	bestLocalCost []atomic.Uint64
 }
 
 // DefaultAlpha is the paper's chosen new-sample weight (ratio 1:4).
@@ -55,19 +71,30 @@ const DefaultAlpha = 1.0 / 5.0
 // (the "1" configuration of Figure 8). Passing alpha <= 0 selects
 // DefaultAlpha.
 func NewTable(topo *topology.Platform, alpha float64) *Table {
+	alpha = clampAlpha(alpha)
+	n := len(topo.Places())
+	t := &Table{
+		topo:          topo,
+		alpha:         alpha,
+		oneMinusAlpha: 1 - alpha,
+		entries:       make([]atomic.Uint64, n),
+		counts:        make([]atomic.Uint64, n),
+		bestLocalCost: make([]atomic.Uint64, topo.NumCores()),
+	}
+	t.gen.Store(1)
+	return t
+}
+
+// clampAlpha normalizes a configured new-observation weight: non-positive
+// selects the paper's default, values above 1 saturate.
+func clampAlpha(alpha float64) float64 {
 	if alpha <= 0 {
-		alpha = DefaultAlpha
+		return DefaultAlpha
 	}
 	if alpha > 1 {
-		alpha = 1
+		return 1
 	}
-	n := len(topo.Places())
-	return &Table{
-		topo:    topo,
-		alpha:   alpha,
-		entries: make([]atomic.Uint64, n),
-		counts:  make([]atomic.Uint64, n),
-	}
+	return alpha
 }
 
 // Alpha returns the new-observation weight used by Update.
@@ -106,7 +133,13 @@ func (t *Table) Count(pl topology.Place) uint64 {
 // real measurement as soon as one exists. Non-positive and non-finite
 // observations are ignored.
 func (t *Table) Update(pl topology.Place, observed float64) {
-	id := t.topo.PlaceID(pl)
+	t.UpdateByID(t.topo.PlaceID(pl), observed)
+}
+
+// UpdateByID is Update for a dense place id, skipping place resolution —
+// the simulated runtime resolves the id once at dispatch and completion
+// reuses it. Negative ids are ignored like invalid places.
+func (t *Table) UpdateByID(id int, observed float64) {
 	if id < 0 || observed <= 0 || math.IsInf(observed, 0) || math.IsNaN(observed) {
 		return
 	}
@@ -114,14 +147,13 @@ func (t *Table) Update(pl topology.Place, observed float64) {
 	for {
 		oldBits := e.Load()
 		old := math.Float64frombits(oldBits)
-		var next float64
-		if old == 0 {
-			next = observed
-		} else {
-			next = (1-t.alpha)*old + t.alpha*observed
+		next := observed
+		if old != 0 {
+			next = t.oneMinusAlpha*old + t.alpha*observed
 		}
 		if e.CompareAndSwap(oldBits, math.Float64bits(next)) {
 			t.counts[id].Add(1)
+			t.gen.Add(1)
 			return
 		}
 	}
@@ -132,6 +164,107 @@ func (t *Table) Reset() {
 	for i := range t.entries {
 		t.entries[i].Store(0)
 		t.counts[i].Store(0)
+	}
+	// Bumping (never rewinding) the generation invalidates the cached best
+	// words: a stamp from before the Reset can never match again.
+	t.gen.Add(1)
+}
+
+// adopt rebinds the table to a (possibly different) platform and alpha and
+// clears it, reusing the entry storage when the shapes match. It is the
+// pooled-reuse counterpart of NewTable and must not race concurrent
+// readers; registries only call it between runs via Registry.Reset.
+func (t *Table) adopt(topo *topology.Platform, alpha float64) {
+	t.topo = topo
+	t.alpha = clampAlpha(alpha)
+	t.oneMinusAlpha = 1 - t.alpha
+	if n := len(topo.Places()); n != len(t.entries) {
+		t.entries = make([]atomic.Uint64, n)
+		t.counts = make([]atomic.Uint64, n)
+	}
+	if n := topo.NumCores(); n != len(t.bestLocalCost) {
+		t.bestLocalCost = make([]atomic.Uint64, n)
+	}
+	// Stale best-place cache words need no clearing: the generation bump in
+	// Reset outdates every stamp they could carry.
+	t.Reset()
+}
+
+// bestIDBits is the width of the place-id field in a packed best-place
+// cache word. Platforms with ≥ 2^16-1 places simply skip caching.
+const bestIDBits = 16
+
+// BestGlobalCost returns the dense id of the place minimizing estimate ×
+// width over every place (the paper's global resource-cost search). Zero
+// (unmeasured) entries score zero and therefore always win, and ties keep
+// the lowest id — the exploration and determinism rules the schedulers
+// rely on. The result is cached against the update generation.
+func (t *Table) BestGlobalCost() int { return t.cachedGlobal(&t.bestCostAll, true, false) }
+
+// BestGlobalTime is BestGlobalCost minimizing the raw estimate (the
+// paper's parallel-performance objective).
+func (t *Table) BestGlobalTime() int { return t.cachedGlobal(&t.bestTimeAll, false, false) }
+
+// BestGlobalW1 minimizes over width-1 places only, where cost and time
+// coincide.
+func (t *Table) BestGlobalW1() int { return t.cachedGlobal(&t.bestW1, false, true) }
+
+// cachedGlobal serves a global minimizing search from its cache word,
+// rescanning only when the update generation moved since it was stored.
+func (t *Table) cachedGlobal(slot *atomic.Uint64, cost, widthOne bool) int {
+	gen := t.gen.Load()
+	if w := slot.Load(); w != 0 && w>>bestIDBits == gen {
+		return int(w&(1<<bestIDBits-1)) - 1
+	}
+	places := t.topo.Places()
+	best, bestScore := -1, -1.0
+	for id := range t.entries {
+		w := places[id].Width
+		if widthOne && w != 1 {
+			continue
+		}
+		v := math.Float64frombits(t.entries[id].Load())
+		if cost {
+			v *= float64(w)
+		}
+		if best < 0 || v < bestScore {
+			best, bestScore = id, v
+		}
+	}
+	t.storeBest(slot, gen, best)
+	return best
+}
+
+// BestLocalCost returns the dense id of the place minimizing estimate ×
+// width among the aligned places containing core (the paper's local width
+// search), cached per core against the update generation. Entry order and
+// tie-breaking match the uncached search: the width-1 place wins ties.
+func (t *Table) BestLocalCost(core int) int {
+	slot := &t.bestLocalCost[core]
+	gen := t.gen.Load()
+	if w := slot.Load(); w != 0 && w>>bestIDBits == gen {
+		return int(w&(1<<bestIDBits-1)) - 1
+	}
+	cands := t.topo.LocalPlaceIDs(core)
+	places := t.topo.Places()
+	best := int(cands[0]) // widths ascend, so entry 0 is (core, 1)
+	bestScore := math.Float64frombits(t.entries[best].Load())
+	for _, cid := range cands[1:] {
+		id := int(cid)
+		v := math.Float64frombits(t.entries[id].Load()) * float64(places[id].Width)
+		if v < bestScore {
+			best, bestScore = id, v
+		}
+	}
+	t.storeBest(slot, gen, best)
+	return best
+}
+
+// storeBest packs and publishes one best-place cache word, skipping ids or
+// generations too large for their fields (neither occurs in practice).
+func (t *Table) storeBest(slot *atomic.Uint64, gen uint64, id int) {
+	if id >= 0 && id < 1<<bestIDBits-1 && gen < 1<<(64-bestIDBits) {
+		slot.Store(gen<<bestIDBits | uint64(id+1))
 	}
 }
 
@@ -241,6 +374,24 @@ func (r *Registry) ResetAll() {
 	for _, t := range r.Tables() {
 		if t != nil {
 			t.Reset()
+		}
+	}
+}
+
+// Reset returns the registry to the observable state NewRegistry(topo,
+// alpha) produces — every table unmeasured, future tables built for the
+// given platform and alpha — while reusing the existing tables' storage.
+// Unlike ResetAll it may rebind the platform, so pooled runtimes can carry
+// one registry across runs that rebuild their topology per run. It must
+// not race concurrent Get/Update; callers reset between runs.
+func (r *Registry) Reset(topo *topology.Platform, alpha float64) {
+	r.growMu.lock()
+	defer r.growMu.unlock()
+	r.topo = topo
+	r.alpha = alpha
+	for _, t := range *r.mu.Load() {
+		if t != nil {
+			t.adopt(topo, alpha)
 		}
 	}
 }

@@ -22,15 +22,22 @@ import (
 
 	"dynasym/internal/dag"
 	"dynasym/internal/sim"
+	"dynasym/internal/simrt"
 	"dynasym/internal/workloads"
 )
 
-// CellState is reusable per-worker scratch for RunCellState: currently the
-// simulation engine, whose event tiers keep their capacity across cells.
-// A CellState must not be used by two cells concurrently; a nil *CellState
-// is valid and makes RunCellState allocate fresh state (RunCell's path).
+// CellState is reusable per-worker scratch for RunCellState: the simulation
+// engine, whose event tiers keep their capacity across cells, and the
+// simulated runtime, whose queues, pools, and per-core state are recycled
+// via Runtime.Reset. A CellState must not be used by two cells
+// concurrently; a nil *CellState is valid and makes RunCellState allocate
+// fresh state (RunCell's path).
 type CellState struct {
 	engine *sim.Engine
+	// rt is lazily captured by the first cell the state runs and reset for
+	// every cell after it. Reuse is pure mechanism: a reset runtime is
+	// bit-identical to a fresh one.
+	rt *simrt.Runtime
 }
 
 // NewCellState returns scratch state for one sweep worker.

@@ -164,7 +164,7 @@ func runCell(s Spec, pol core.Policy, pt Point, seed uint64, cw *compiledWorkloa
 	if err != nil {
 		return RunMetrics{}, err
 	}
-	rt, err := simrt.New(simrt.Config{
+	cfg := simrt.Config{
 		Topo:   topo,
 		Model:  model,
 		Policy: pol,
@@ -172,9 +172,24 @@ func runCell(s Spec, pol core.Policy, pt Point, seed uint64, cw *compiledWorkloa
 		Seed:   seed,
 		Trace:  s.Trace,
 		Engine: st.engineFor(),
-	})
-	if err != nil {
-		return RunMetrics{}, err
+	}
+	var rt *simrt.Runtime
+	if st != nil && st.rt != nil {
+		// Warm worker: recycle the runtime's allocations. Reset replays
+		// New's exact construction sequence, so the cell's metrics cannot
+		// depend on what ran before.
+		rt = st.rt
+		if err := rt.Reset(cfg); err != nil {
+			return RunMetrics{}, err
+		}
+	} else {
+		rt, err = simrt.New(cfg)
+		if err != nil {
+			return RunMetrics{}, err
+		}
+		if st != nil {
+			st.rt = rt
+		}
 	}
 	coll, err := rt.Run(g)
 	if err != nil {

@@ -39,10 +39,18 @@
 // tiers' fronts:
 //
 //   - nowBuf: events scheduled at exactly the current time (completion
-//     cascades, rendezvous deliveries) — FIFO, O(1) both ends;
+//     cascades, rendezvous deliveries) — FIFO, O(1) both ends. When the
+//     other tiers hold nothing at the current time, RunUntil drains an
+//     entire same-time generation of this buffer back to back without
+//     re-consulting the other tiers, and typed events that duplicate the
+//     buffer's tail — same handler, same kind, same timestamp — coalesce
+//     into that single pending delivery;
 //   - near: events within nearWindow of the clock (dispatch follow-ups,
-//     steal retries, idle polls — the bulk of the traffic) — a sorted ring
-//     with binary-search inserts and O(1) front pops;
+//     steal retries, idle polls — the bulk of the traffic) — a sorted
+//     slice with headroom at both ends: binary-search inserts memmove
+//     whichever side of the insertion point is shorter, and the dominant
+//     dispatch→step ping-pong (a key landing at the very front) is an O(1)
+//     prepend into the gap that pops keep regenerating;
 //   - keys: everything further out — an index-based 4-ary min-heap whose
 //     sibling groups fit one cache line.
 //
@@ -88,15 +96,24 @@ type Engine struct {
 	nowHead int
 	// near is the sorted near-term tier: keys within nearWindow of the
 	// clock (dispatch follow-ups, steal retries, idle polls — the bulk of
-	// the traffic) are insertion-sorted here, giving O(1) pops and small
-	// memmove inserts instead of heap sifts. Only far-future keys (task
-	// finish times) take the heap. Dispatch always takes the (at, seq)
-	// minimum of the three tiers, so the routing never affects order.
+	// the traffic) are insertion-sorted here, giving O(1) pops and short
+	// memmoves instead of heap sifts. Only far-future keys (task finish
+	// times) take the heap. The live window is near[nearHead:]; the
+	// consumed prefix below nearHead is reusable headroom, so an insert
+	// shifts whichever side of the insertion point is shorter — front
+	// inserts (the dispatch→step follow-up that becomes the very next
+	// event) slide into the headroom pops keep regenerating, in O(1),
+	// instead of moving the whole window. Dispatch always takes the
+	// (at, seq) minimum of the three tiers, so the routing never affects
+	// order.
 	near     []eventKey
 	nearHead int
 	stopped  bool
 	// Processed counts events executed, for diagnostics and perf tests.
 	Processed uint64
+	// Coalesced counts typed events absorbed into an identical pending
+	// delivery (same handler, kind and timestamp) instead of being queued.
+	Coalesced uint64
 }
 
 // eventKey is one heap entry: the (at, seq) dispatch order plus the arena
@@ -171,6 +188,14 @@ func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
 // AtEvent schedules a typed event for h at absolute virtual time t. It is
 // allocation-free: the payload is stored by value in the engine's reusable
 // arena and the heap holds only scalar keys.
+//
+// Typed events at equal timestamps are level-triggered per (handler, kind):
+// scheduling an event identical to the most recently queued same-time event
+// coalesces into that single pending delivery rather than delivering twice
+// (the Coalesced counter records it). Handlers must therefore treat a
+// delivery as "the condition at time t", not a countable pulse — which is
+// how every state-machine handler in this repository already behaves — and
+// must be comparable values (pointers).
 func (e *Engine) AtEvent(t float64, h Handler, kind EventKind) {
 	e.checkTime(t)
 	e.push(eventRec{kind: kind, h: h}, t)
@@ -195,18 +220,20 @@ func (e *Engine) RunUntil(limit float64) float64 {
 		// fronts: the same-time FIFO, the sorted near-term ring, and the
 		// far-future heap.
 		src := srcNone
-		var front *eventKey
+		var front, nearFront, heapFront *eventKey
 		if e.nowHead < len(e.nowBuf) {
 			src, front = srcNow, &e.nowBuf[e.nowHead]
 		}
 		if e.nearHead < len(e.near) {
-			if nf := &e.near[e.nearHead]; src == srcNone || nf.less(front) {
-				src, front = srcNear, nf
+			nearFront = &e.near[e.nearHead]
+			if src == srcNone || nearFront.less(front) {
+				src, front = srcNear, nearFront
 			}
 		}
 		if len(e.keys) > 0 {
-			if hf := &e.keys[0]; src == srcNone || hf.less(front) {
-				src, front = srcHeap, hf
+			heapFront = &e.keys[0]
+			if src == srcNone || heapFront.less(front) {
+				src, front = srcHeap, heapFront
 			}
 		}
 		if src == srcNone {
@@ -220,6 +247,35 @@ func (e *Engine) RunUntil(limit float64) float64 {
 		var rec eventRec
 		switch src {
 		case srcNow:
+			// Batch drain: while the other tiers' fronts are strictly
+			// later than the buffer's time, this entire same-time FIFO
+			// generation — including entries handlers append while it
+			// runs — dispatches back to back without re-consulting them.
+			// Handlers can only schedule at ≥ now, and same-time pushes
+			// always join this buffer while it is non-empty, so no key at
+			// this time can appear in the other tiers mid-drain.
+			if (nearFront == nil || nearFront.at > at) && (heapFront == nil || heapFront.at > at) {
+				e.now = at
+				for e.nowHead < len(e.nowBuf) {
+					k := e.nowBuf[e.nowHead]
+					e.nowHead++
+					if e.nowHead == len(e.nowBuf) {
+						e.nowBuf = e.nowBuf[:0]
+						e.nowHead = 0
+					}
+					r := e.take(int32(k.seqSlot & (1<<slotBits - 1)))
+					e.Processed++
+					if r.fn != nil {
+						r.fn()
+					} else {
+						r.h.HandleEvent(r.kind, at)
+					}
+					if e.stopped {
+						break
+					}
+				}
+				continue
+			}
 			slot := int32(front.seqSlot & (1<<slotBits - 1))
 			e.nowHead++
 			if e.nowHead == len(e.nowBuf) {
@@ -284,6 +340,7 @@ func (e *Engine) Reset() {
 	e.nearHead = 0
 	e.stopped = false
 	e.Processed = 0
+	e.Coalesced = 0
 }
 
 // Pending returns the number of queued events.
@@ -300,18 +357,34 @@ func (a *eventKey) less(b *eventKey) bool {
 	return a.seqSlot < b.seqSlot
 }
 
-// nearInsert places a key into the sorted near-term ring: binary search
-// for the insertion point, one memmove of the (short) suffix. The consumed
-// prefix is compacted away once it dominates the slice, keeping the cost
-// amortized O(1) per event plus the move.
+// nearInsert places a key into the sorted near-term tier, whose live window
+// is near[nearHead:]. The two dominant arrival patterns are O(1): a key at
+// or above the back (completions, polls) appends, a key below the current
+// front (the dispatch follow-up that becomes the very next event) slides
+// into the headroom that pops regenerate one slot per dispatch. Everything
+// else binary-searches for its position and memmoves whichever side of the
+// window is shorter, so an insert costs O(min(i, n-i)) contiguous moves.
 func (e *Engine) nearInsert(k eventKey) {
-	if e.nearHead > 0 && e.nearHead*2 >= len(e.near) {
-		n := copy(e.near, e.near[e.nearHead:])
-		e.near = e.near[:n]
-		e.nearHead = 0
+	if e.nearHead >= 3*nearCap {
+		// Recycle the consumed prefix before it forces the slice to grow,
+		// keeping nearCap slots of front headroom. The window holds at most
+		// nearCap live keys, so the slice stabilizes at ~4×nearCap entries.
+		live := copy(e.near[nearCap:], e.near[e.nearHead:])
+		e.near = e.near[:nearCap+live]
+		e.nearHead = nearCap
 	}
 	a := e.near
-	lo, hi := e.nearHead, len(a)
+	n := len(a)
+	if n == e.nearHead || !k.less(&a[n-1]) {
+		e.near = append(a, k)
+		return
+	}
+	if e.nearHead > 0 && k.less(&a[e.nearHead]) {
+		e.nearHead--
+		a[e.nearHead] = k
+		return
+	}
+	lo, hi := e.nearHead, n
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if k.less(&a[mid]) {
@@ -320,8 +393,16 @@ func (e *Engine) nearInsert(k eventKey) {
 			lo = mid + 1
 		}
 	}
-	a = append(a, eventKey{})
-	copy(a[lo+1:], a[lo:])
+	if e.nearHead > 0 && lo-e.nearHead <= n-lo {
+		// Front side shorter: shift [nearHead, lo) down into the headroom.
+		copy(a[e.nearHead-1:], a[e.nearHead:lo])
+		a[lo-1] = k
+		e.nearHead--
+		return
+	}
+	// Back side shorter (or no front headroom): shift [lo, n) up one slot.
+	a = append(a, k)
+	copy(a[lo+1:], a[lo:n])
 	a[lo] = k
 	e.near = a
 }
@@ -335,8 +416,25 @@ func (e *Engine) take(slot int32) eventRec {
 }
 
 // push stores the payload in the arena and enqueues its key: same-time
-// events go to the FIFO buffer, everything else sifts up the 4-ary heap.
+// events go to the FIFO buffer (coalescing typed duplicates of its tail),
+// near-term keys go to the sorted ring, everything else sifts up the 4-ary
+// heap.
 func (e *Engine) push(rec eventRec, at float64) {
+	// Same-time events join the FIFO only while the buffer holds a single
+	// time value: RunUntil with a limit below the clock legally rewinds
+	// `now` beneath undispatched buffer entries, and mixing times would
+	// break the buffer's sorted-by-(at, seq) property.
+	nowEligible := at == e.now && (e.nowHead == len(e.nowBuf) || e.nowBuf[len(e.nowBuf)-1].at == at)
+	if nowEligible && rec.fn == nil && e.nowHead < len(e.nowBuf) {
+		// Typed same-time duplicates of the pending tail collapse into one
+		// delivery (see AtEvent): the second delivery would observe exactly
+		// the state the first one left, at the same virtual time.
+		tail := &e.recs[int32(e.nowBuf[len(e.nowBuf)-1].seqSlot&(1<<slotBits-1))]
+		if tail.fn == nil && tail.h == rec.h && tail.kind == rec.kind {
+			e.Coalesced++
+			return
+		}
+	}
 	var slot int32
 	if n := len(e.free); n > 0 {
 		slot = e.free[n-1]
@@ -351,11 +449,7 @@ func (e *Engine) push(rec eventRec, at float64) {
 	}
 	e.seq++
 	key := eventKey{at: at, seqSlot: e.seq<<slotBits | uint64(slot)}
-	// Same-time events join the FIFO only while the buffer holds a single
-	// time value: RunUntil with a limit below the clock legally rewinds
-	// `now` beneath undispatched buffer entries, and mixing times would
-	// break the buffer's sorted-by-(at, seq) property.
-	if at == e.now && (e.nowHead == len(e.nowBuf) || e.nowBuf[len(e.nowBuf)-1].at == at) {
+	if nowEligible {
 		e.nowBuf = append(e.nowBuf, key)
 		return
 	}

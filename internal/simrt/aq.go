@@ -22,3 +22,13 @@ func (q *asmQueue) PopFront() *assembly {
 	a, _ := q.popFront()
 	return a
 }
+
+// clear empties the queue, keeping its storage but releasing every queued
+// assembly (a stalled run may leave residue behind).
+func (q *asmQueue) clear() {
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	q.head = 0
+	q.n = 0
+}

@@ -3,7 +3,6 @@ package simrt
 import (
 	"testing"
 
-	"dynasym/internal/dag"
 	"dynasym/internal/xrand"
 )
 
@@ -18,22 +17,24 @@ import (
 func TestDequeRandomizedInvariants(t *testing.T) {
 	rng := xrand.New(12345)
 	var d deque
-	var model []*dag.Task // model[i] mirrors d.items[i]
+	var model []int32 // model[i] mirrors d's i-th queued tref
+	high := func(r int32) bool { return r&1 != 0 }
 
-	modelRemove := func(i int) *dag.Task {
+	modelRemove := func(i int) int32 {
 		tk := model[i]
 		model = append(model[:i], model[i+1:]...)
 		return tk
 	}
-	// Reference predictions mirroring the documented contracts.
-	predictPopBottom := func(preferHigh bool) *dag.Task {
+	// Reference predictions mirroring the documented contracts. The
+	// sentinel -1 means "no removal expected" (trefs are non-negative).
+	predictPopBottom := func(preferHigh bool) int32 {
 		if len(model) == 0 {
-			return nil
+			return -1
 		}
 		idx := len(model) - 1
-		if preferHigh && !model[idx].High {
+		if preferHigh && !high(model[idx]) {
 			for i := len(model) - 2; i >= 0; i-- {
-				if model[i].High {
+				if high(model[i]) {
 					idx = i
 					break
 				}
@@ -41,32 +42,34 @@ func TestDequeRandomizedInvariants(t *testing.T) {
 		}
 		return modelRemove(idx)
 	}
-	predictPopHigh := func() *dag.Task {
+	predictPopHigh := func() int32 {
 		for i := len(model) - 1; i >= 0; i-- {
-			if model[i].High {
+			if high(model[i]) {
 				return modelRemove(i)
 			}
 		}
-		return nil
+		return -1
 	}
-	predictSteal := func(allowHigh bool) *dag.Task {
+	predictSteal := func(allowHigh bool) int32 {
 		for i, tk := range model {
-			if allowHigh || !tk.High {
+			if allowHigh || !high(tk) {
 				return modelRemove(i)
 			}
 		}
-		return nil
+		return -1
 	}
 
-	live := map[*dag.Task]bool{}
+	live := map[int32]bool{}
+	ctr := 0
 	for op := 0; op < 20000; op++ {
 		switch rng.Intn(5) {
 		case 0, 1: // push (slightly biased so the deque stays populated)
-			tk := &dag.Task{High: rng.Intn(3) == 0}
+			ctr++
+			tk := makeTref(ctr, rng.Intn(3) == 0)
 			d.PushBottom(tk)
 			model = append(model, tk)
 			if live[tk] {
-				t.Fatalf("op %d: task pushed twice", op)
+				t.Fatalf("op %d: tref pushed twice", op)
 			}
 			live[tk] = true
 		case 2:
@@ -82,7 +85,7 @@ func TestDequeRandomizedInvariants(t *testing.T) {
 			allowHigh := rng.Intn(2) == 0
 			wantStealable := false
 			for _, tk := range model {
-				if allowHigh || !tk.High {
+				if allowHigh || !high(tk) {
 					wantStealable = true
 					break
 				}
@@ -96,6 +99,15 @@ func TestDequeRandomizedInvariants(t *testing.T) {
 		}
 		if d.Len() != len(model) {
 			t.Fatalf("op %d: deque len %d, model len %d", op, d.Len(), len(model))
+		}
+		wantLow := 0
+		for _, tk := range model {
+			if !high(tk) {
+				wantLow++
+			}
+		}
+		if d.LowLen() != wantLow {
+			t.Fatalf("op %d: LowLen %d, model %d", op, d.LowLen(), wantLow)
 		}
 	}
 	// Drain: every remaining task must come out exactly once, oldest first.
@@ -114,19 +126,19 @@ func TestDequeRandomizedInvariants(t *testing.T) {
 
 // checkRemoval verifies one removal against the model's prediction and
 // maintains the no-loss/no-duplication ledger.
-func checkRemoval(t *testing.T, op int, what string, want, got *dag.Task, ok bool, live map[*dag.Task]bool) {
+func checkRemoval(t *testing.T, op int, what string, want, got int32, ok bool, live map[int32]bool) {
 	t.Helper()
-	if (want != nil) != ok {
+	if (want >= 0) != ok {
 		t.Fatalf("op %d: %s ok=%v, model predicted %v", op, what, ok, want)
 	}
 	if !ok {
 		return
 	}
 	if got != want {
-		t.Fatalf("op %d: %s returned wrong task (high=%v, want high=%v)", op, what, got.High, want.High)
+		t.Fatalf("op %d: %s returned wrong tref (high=%v, want high=%v)", op, what, got&1 != 0, want&1 != 0)
 	}
 	if !live[got] {
-		t.Fatalf("op %d: %s returned a task that was already removed", op, what)
+		t.Fatalf("op %d: %s returned a tref that was already removed", op, what)
 	}
 	delete(live, got)
 }

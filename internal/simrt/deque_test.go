@@ -3,15 +3,19 @@ package simrt
 import (
 	"testing"
 	"testing/quick"
-
-	"dynasym/internal/dag"
 )
 
-func mk(high bool) *dag.Task { return &dag.Task{High: high} }
+// mkref builds distinct trefs from a per-test counter so identity checks
+// catch loss or duplication, mirroring how the runtime packs task indices.
+func mkref(ctr *int, high bool) int32 {
+	*ctr++
+	return makeTref(*ctr, high)
+}
 
 func TestDequeLIFO(t *testing.T) {
 	var d deque
-	a, b := mk(false), mk(false)
+	var ctr int
+	a, b := mkref(&ctr, false), mkref(&ctr, false)
 	d.PushBottom(a)
 	d.PushBottom(b)
 	if got, _ := d.PopBottom(false); got != b {
@@ -27,8 +31,10 @@ func TestDequeLIFO(t *testing.T) {
 
 func TestDequePreferHigh(t *testing.T) {
 	var d deque
-	h := mk(true)
-	l1, l2 := mk(false), mk(false)
+	var ctr int
+	h := mkref(&ctr, true)
+	l1, l2 := mkref(&ctr, false), mkref(&ctr, false)
+	_ = l1
 	d.PushBottom(h)
 	d.PushBottom(l1)
 	d.PushBottom(l2)
@@ -42,8 +48,10 @@ func TestDequePreferHigh(t *testing.T) {
 
 func TestDequePopHigh(t *testing.T) {
 	var d deque
-	l := mk(false)
-	h1, h2 := mk(true), mk(true)
+	var ctr int
+	h1 := mkref(&ctr, true)
+	l := mkref(&ctr, false)
+	h2 := mkref(&ctr, true)
 	d.PushBottom(h1)
 	d.PushBottom(l)
 	d.PushBottom(h2)
@@ -63,8 +71,10 @@ func TestDequePopHigh(t *testing.T) {
 
 func TestDequeStealOldest(t *testing.T) {
 	var d deque
-	h := mk(true)
-	l1, l2 := mk(false), mk(false)
+	var ctr int
+	h := mkref(&ctr, true)
+	l1, l2 := mkref(&ctr, false), mkref(&ctr, false)
+	_ = l2
 	d.PushBottom(h)
 	d.PushBottom(l1)
 	d.PushBottom(l2)
@@ -83,7 +93,8 @@ func TestDequeStealOldest(t *testing.T) {
 
 func TestDequeHasStealable(t *testing.T) {
 	var d deque
-	d.PushBottom(mk(true))
+	var ctr int
+	d.PushBottom(mkref(&ctr, true))
 	if d.HasStealable(false) {
 		t.Fatal("high-only queue reported stealable without allowHigh")
 	}
@@ -97,11 +108,12 @@ func TestDequeHasStealable(t *testing.T) {
 func TestDequeConservation(t *testing.T) {
 	check := func(ops []uint8) bool {
 		var d deque
+		var ctr int
 		pushed, popped := 0, 0
 		for _, op := range ops {
 			switch op % 5 {
 			case 0, 1:
-				d.PushBottom(mk(op%7 == 0))
+				d.PushBottom(mkref(&ctr, op%7 == 0))
 				pushed++
 			case 2:
 				if _, ok := d.PopBottom(true); ok {

@@ -1,0 +1,130 @@
+package simrt
+
+import (
+	"testing"
+
+	"dynasym/internal/core"
+	"dynasym/internal/dag"
+	"dynasym/internal/kernels"
+	"dynasym/internal/machine"
+	"dynasym/internal/topology"
+)
+
+// resetGraph builds a small mixed-priority diamond-chain workload; every
+// call returns a structurally identical fresh instance.
+func resetGraph() *dag.Graph {
+	g := dag.New()
+	g.Grow(400)
+	cost := kernels.MatMulCost(48)
+	var prev *dag.Task
+	for i := 0; i < 400; i++ {
+		t := &dag.Task{
+			Label: "reset-probe",
+			Type:  kernels.TypeMatMul,
+			High:  i%8 == 0,
+			Cost:  cost,
+			Iter:  i / 40,
+		}
+		g.Add(t)
+		if prev != nil && i%3 == 0 {
+			g.AddEdge(prev, t)
+		}
+		prev = t
+	}
+	return g
+}
+
+// runOnce executes one fresh graph on rt and returns a compact result
+// signature: the makespan bits plus the per-core scheduler counters.
+func runOnce(t *testing.T, rt *Runtime) (float64, []Stats) {
+	t.Helper()
+	coll, err := rt.Run(resetGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.TasksDone() != 400 {
+		t.Fatalf("run completed %d tasks, want 400", coll.TasksDone())
+	}
+	return rt.Makespan(), rt.CoreStats()
+}
+
+// A reset runtime must replay a fresh runtime's execution bit for bit:
+// same makespan, same per-core steal/dispatch counters, for every Table-1
+// policy. This pins Reset's contract at the layer that owns it (the
+// scenario-level fingerprint tests pin the end-to-end metrics).
+func TestResetMatchesNew(t *testing.T) {
+	for _, pol := range core.All() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			t.Parallel()
+			topo := topology.TX2()
+			model := machine.New(topo)
+			cfg := Config{Topo: topo, Model: model, Policy: pol, Seed: 31}
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMk, wantStats := runOnce(t, fresh)
+
+			reused, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Dirty the runtime with a different seed first so Reset has
+			// real state to erase.
+			dirty := cfg
+			dirty.Seed = 99
+			if _, ds := runOnce(t, reused); len(ds) == 0 {
+				t.Fatal("dirty run recorded no cores")
+			}
+			if err := reused.Reset(dirty); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reused.Run(resetGraph()); err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Reset(cfg); err != nil {
+				t.Fatal(err)
+			}
+			gotMk, gotStats := runOnce(t, reused)
+			if gotMk != wantMk {
+				t.Fatalf("reset runtime makespan %v, fresh %v", gotMk, wantMk)
+			}
+			for i := range wantStats {
+				if gotStats[i] != wantStats[i] {
+					t.Fatalf("core %d counters diverged: reset %+v, fresh %+v", i, gotStats[i], wantStats[i])
+				}
+			}
+		})
+	}
+}
+
+// Reset itself must be allocation-free once the runtime's pools have
+// reached their high-water marks — it exists to recycle allocations, so it
+// may not introduce its own.
+func TestResetAllocs(t *testing.T) {
+	topo := topology.TX2()
+	model := machine.New(topo)
+	cfg := Config{Topo: topo, Model: model, Policy: core.DAMC(), Seed: 7}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: a few full cycles grow the collector freelist and queue rings.
+	for i := 0; i < 3; i++ {
+		runOnce(t, rt)
+		if err := rt.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := rt.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset costs %.1f allocs, want 0", allocs)
+	}
+	// The runtime must still work after the measurement loop.
+	runOnce(t, rt)
+}

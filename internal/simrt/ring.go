@@ -34,6 +34,15 @@ func (r *ring[T]) grow() {
 	r.head = 0
 }
 
+// reserve grows the ring's buffer until it holds at least n entries, so
+// construction-time callers can move the first growth steps off the
+// simulation hot path.
+func (r *ring[T]) reserve(n int) {
+	for len(r.buf) < n {
+		r.grow()
+	}
+}
+
 // pushBack appends at the logical end.
 func (r *ring[T]) pushBack(v T) {
 	if r.n == len(r.buf) {

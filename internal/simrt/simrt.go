@@ -145,8 +145,9 @@ const (
 
 type assembly struct {
 	rt      *Runtime
-	task    *dag.Task
+	tref    int32 // packed task reference (see soa.go)
 	place   topology.Place
+	placeID int32 // dense id of place, resolved once at dispatch
 	arrived int
 	start   float64
 	finish  float64 // estimated, for load queries; 0 until started
@@ -212,21 +213,36 @@ type Runtime struct {
 	loadFn func(core int) float64
 	// tblCache memoizes Registry.Get per task type (stable pointers).
 	tblCache []*ptt.Table
+	// soa mirrors per-task scheduling state into dense slices (see soa.go).
+	soa taskSoA
+	// prioSteal and usesPTT cache the policy's constant traits; the hot
+	// loop consults them several times per event and an interface call per
+	// consult is measurable at scale-out event rates.
+	prioSteal bool
+	usesPTT   bool
+	// privEngine/privReg/privColl record which shared components the runtime
+	// allocated itself (the matching Config field was nil), so Reset knows
+	// whether it owns them and may recycle them in place.
+	privEngine bool
+	privReg    bool
+	privColl   bool
 }
 
-// New validates the configuration and builds a runtime.
-func New(cfg Config) (*Runtime, error) {
+// validateConfig checks the required fields and fills in the defaults,
+// mutating cfg in place. New and Reset share it so a reset runtime accepts
+// exactly the configurations a fresh one would.
+func validateConfig(cfg *Config) error {
 	if cfg.Topo == nil {
-		return nil, fmt.Errorf("simrt: Config.Topo is required")
+		return fmt.Errorf("simrt: Config.Topo is required")
 	}
 	if cfg.Model == nil {
-		return nil, fmt.Errorf("simrt: Config.Model is required")
+		return fmt.Errorf("simrt: Config.Model is required")
 	}
 	if cfg.Policy == nil {
-		return nil, fmt.Errorf("simrt: Config.Policy is required")
+		return fmt.Errorf("simrt: Config.Policy is required")
 	}
 	if cfg.Model.Platform() != cfg.Topo {
-		return nil, fmt.Errorf("simrt: Model built for a different platform")
+		return fmt.Errorf("simrt: Model built for a different platform")
 	}
 	if cfg.DispatchCost <= 0 {
 		cfg.DispatchCost = 0.2e-6
@@ -252,6 +268,14 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.PollDelay <= 0 {
 		cfg.PollDelay = 20e-6
 	}
+	return nil
+}
+
+// New validates the configuration and builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if err := validateConfig(&cfg); err != nil {
+		return nil, err
+	}
 	rt := &Runtime{
 		cfg:    cfg,
 		engine: cfg.Engine,
@@ -264,25 +288,141 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if rt.engine == nil {
 		rt.engine = sim.New()
+		rt.privEngine = true
 	}
 	if rt.reg == nil {
 		rt.reg = ptt.NewRegistry(cfg.Topo, cfg.Alpha)
+		rt.privReg = true
 	}
 	if rt.coll == nil {
 		rt.coll = metrics.NewCollector(cfg.Topo)
+		rt.privColl = true
 	}
+	rt.prioSteal = cfg.Policy.AllowPrioritySteal()
+	rt.usesPTT = cfg.Policy.UsesPTT()
 	rt.loadFn = rt.loadEstimate
 	rt.ctxScratch = core.Context{Topo: rt.topo, RR: &rt.rr, Load: rt.loadFn}
-	rt.cores = make([]*coreState, cfg.Topo.NumCores())
-	words := (cfg.Topo.NumCores() + 63) / 64
+	rt.buildCores()
+	return rt, nil
+}
+
+// buildCores (re)allocates the per-core state, bitmaps, and assembly pool
+// for the current topology. The per-core RNGs are split off the root in
+// ascending core order; New and Reset both rely on that draw sequence being
+// identical.
+func (rt *Runtime) buildCores() {
+	rt.cores = make([]*coreState, rt.topo.NumCores())
+	words := (rt.topo.NumCores() + 63) / 64
 	rt.idle = make([]uint64, words)
 	rt.wsqAny = make([]uint64, words)
 	rt.wsqLow = make([]uint64, words)
 	for i := range rt.cores {
-		rt.cores[i] = &coreState{id: i, rt: rt, rng: rt.root.Split()}
+		c := &coreState{id: i, rt: rt, rng: rt.root.Split()}
+		c.wsq.reserve(8)
+		c.aq.reserve(8)
+		rt.cores[i] = c
 		rt.markIdle(i)
 	}
-	return rt, nil
+	// Warm the assembly pool so steady-state dispatch never allocates: the
+	// number of live assemblies is bounded by the queued + running set,
+	// which rarely exceeds a couple per core.
+	rt.asmFree = make([]*assembly, 2*len(rt.cores))
+	for i := range rt.asmFree {
+		rt.asmFree[i] = &assembly{}
+	}
+}
+
+// Reset returns the runtime to the observable state New(cfg) produces while
+// reusing its allocations — core states, queue rings, the assembly pool,
+// per-core RNGs, and (when privately owned) the engine, registry, and
+// collector. Scenario runners execute thousands of short cells back to
+// back; rebuilding the runtime per cell dominated their allocation profile.
+//
+// The reused runtime is bit-identical to a fresh one: the RNG reseed and
+// per-core splits replay New's exact draw sequence, and the PTT generation
+// counters only ever advance, so no stale cached decision can survive.
+// Reset accepts a different topology/policy/seed than the previous run
+// (shape changes rebuild the per-core state).
+func (rt *Runtime) Reset(cfg Config) error {
+	if err := validateConfig(&cfg); err != nil {
+		return err
+	}
+	// Shared components: adopt the caller's when provided, recycle our own
+	// private ones otherwise. A runtime that previously adopted a shared
+	// component must not reset it — the caller owns it — so it allocates a
+	// fresh private one instead.
+	if cfg.Engine != nil {
+		rt.engine = cfg.Engine
+		rt.privEngine = false
+	} else if rt.privEngine {
+		rt.engine.Reset()
+	} else {
+		rt.engine = sim.New()
+		rt.privEngine = true
+	}
+	if cfg.Registry != nil {
+		rt.reg = cfg.Registry
+		rt.privReg = false
+	} else if rt.privReg {
+		rt.reg.Reset(cfg.Topo, cfg.Alpha)
+	} else {
+		rt.reg = ptt.NewRegistry(cfg.Topo, cfg.Alpha)
+		rt.privReg = true
+	}
+	if cfg.Collector != nil {
+		rt.coll = cfg.Collector
+		rt.privColl = false
+	} else if rt.privColl {
+		rt.coll.Reset(cfg.Topo)
+	} else {
+		rt.coll = metrics.NewCollector(cfg.Topo)
+		rt.privColl = true
+	}
+	sameShape := rt.topo != nil && len(rt.cores) == cfg.Topo.NumCores()
+	rt.cfg = cfg
+	rt.topo = cfg.Topo
+	rt.model = cfg.Model
+	rt.policy = cfg.Policy
+	rt.prioSteal = cfg.Policy.AllowPrioritySteal()
+	rt.usesPTT = cfg.Policy.UsesPTT()
+	rt.rr.Store(0)
+	rt.root.Reseed(cfg.Seed)
+	if sameShape {
+		for i := range rt.idle {
+			rt.idle[i] = 0
+			rt.wsqAny[i] = 0
+			rt.wsqLow[i] = 0
+		}
+		for _, c := range rt.cores {
+			c.state = stIdle
+			c.cur = nil
+			c.wsq.clear()
+			c.aq.clear()
+			rt.root.SplitInto(c.rng)
+			c.steals = 0
+			c.failedSteals = 0
+			c.dispatches = 0
+			rt.markIdle(c.id)
+		}
+	} else {
+		rt.buildCores()
+	}
+	// The table cache is keyed by type id against the (possibly replaced)
+	// registry; drop every entry in place.
+	for i := range rt.tblCache {
+		rt.tblCache[i] = nil
+	}
+	rt.ctxScratch = core.Context{Topo: rt.topo, RR: &rt.rr, Load: rt.loadFn}
+	// The task mirror is rebuilt at Start; release the previous graph's
+	// task pointers now so Reset does not pin it.
+	for i := range rt.soa.ptr {
+		rt.soa.ptr[i] = nil
+	}
+	rt.soa.ptr = rt.soa.ptr[:0]
+	rt.graph = nil
+	rt.finished = false
+	rt.makespan = 0
+	return nil
 }
 
 // markIdle sets a core's bit in the idle bitmap.
@@ -377,7 +517,11 @@ func (rt *Runtime) Run(g *dag.Graph) (*metrics.Collector, error) {
 	}
 	rt.engine.Run()
 	if !rt.finished {
-		return nil, fmt.Errorf("simrt: execution stalled with %d tasks outstanding (possible dependency deadlock)", g.Outstanding())
+		out := g.Outstanding()
+		if rt.soa.static {
+			out = int64(rt.soa.remaining)
+		}
+		return nil, fmt.Errorf("simrt: execution stalled with %d tasks outstanding (possible dependency deadlock)", out)
 	}
 	return rt.coll, nil
 }
@@ -393,8 +537,9 @@ func (rt *Runtime) Start(g *dag.Graph) error {
 	if len(ready) == 0 && g.Outstanding() > 0 {
 		return fmt.Errorf("simrt: graph has %d tasks but none ready (cycle?)", g.Outstanding())
 	}
+	rt.buildSoA(g)
 	for _, t := range ready {
-		rt.wakeTask(t, 0)
+		rt.wakeTask(rt.tref(t), 0)
 	}
 	if g.Outstanding() == 0 {
 		rt.finished = true
@@ -423,7 +568,7 @@ func (rt *Runtime) scheduleStep(c *coreState, delay float64) {
 // the cache avoids the registry's atomic-load fast path on the two policy
 // decisions of every task.
 func (rt *Runtime) table(id ptt.TypeID) *ptt.Table {
-	if !rt.policy.UsesPTT() {
+	if !rt.usesPTT {
 		return nil
 	}
 	if int(id) < len(rt.tblCache) {
@@ -445,13 +590,14 @@ func (rt *Runtime) table(id ptt.TypeID) *ptt.Table {
 // written here. Policies consume the context within the
 // WakePlace/DispatchPlace call, so one scratch per runtime suffices and the
 // hot path stays allocation-free.
-func (rt *Runtime) ctx(self int, t *dag.Task) *core.Context {
+func (rt *Runtime) ctx(self int, tr int32) *core.Context {
 	c := &rt.ctxScratch
 	c.Self = self
-	c.High = t.High
-	if c.Type != t.Type || c.Table == nil {
-		c.Type = t.Type
-		c.Table = rt.table(t.Type)
+	c.High = tr&1 != 0
+	typ := rt.soa.typ[tr>>1]
+	if c.Type != typ || c.Table == nil {
+		c.Type = typ
+		c.Table = rt.table(typ)
 	}
 	c.Rand = rt.cores[self].rng
 	return c
@@ -474,16 +620,16 @@ func (rt *Runtime) loadEstimate(coreID int) float64 {
 // wakeTask performs the wake-time placement of a newly ready task: the
 // policy may route it (high-priority tasks), otherwise it lands on the
 // waking worker's WSQ. Idle cores are then given a chance to steal.
-func (rt *Runtime) wakeTask(t *dag.Task, waker int) {
-	leader, ok := rt.policy.WakePlace(rt.ctx(waker, t))
+func (rt *Runtime) wakeTask(tr int32, waker int) {
+	leader, ok := rt.policy.WakePlace(rt.ctx(waker, tr))
 	if !ok {
 		leader = waker
 	}
 	target := rt.cores[leader]
-	target.wsq.PushBottom(t)
+	target.wsq.PushBottom(tr)
 	rt.updateWSQBits(target)
 	rt.scheduleStep(target, rt.cfg.WakeLatency)
-	if !t.High || rt.policy.AllowPrioritySteal() {
+	if tr&1 == 0 || rt.prioSteal {
 		// Idle workers discover remote work by polling, with a per-core
 		// stagger so probes do not stampede. The bitmap walk visits
 		// exactly the idle cores in ascending id order (the target went
@@ -512,7 +658,7 @@ func (rt *Runtime) step(c *coreState) {
 	// 0. Criticality-aware policies dispatch waiting high-priority tasks
 	// before anything else, so a critical task routed to this worker is
 	// never stranded behind committed low-priority assemblies.
-	if !rt.policy.AllowPrioritySteal() {
+	if !rt.prioSteal {
 		if t, ok := c.wsq.PopHigh(); ok {
 			rt.updateWSQBits(c)
 			rt.dispatch(c, t)
@@ -535,7 +681,7 @@ func (rt *Runtime) step(c *coreState) {
 
 	// 2. Local ready tasks. Criticality-aware policies run high-priority
 	// tasks first; the RWS family is priority-oblivious.
-	if t, ok := c.wsq.PopBottom(!rt.policy.AllowPrioritySteal()); ok {
+	if t, ok := c.wsq.PopBottom(!rt.prioSteal); ok {
 		rt.updateWSQBits(c)
 		rt.dispatch(c, t)
 		c.dispatches++
@@ -551,7 +697,7 @@ func (rt *Runtime) step(c *coreState) {
 	// decision is then re-run on this core (the paper's step 4: the PTT
 	// is visited again after a successful steal). If no victim exists the
 	// core goes idle; new pushes wake idle cores.
-	allowHigh := rt.policy.AllowPrioritySteal()
+	allowHigh := rt.prioSteal
 	bm := rt.wsqLow
 	if allowHigh {
 		bm = rt.wsqAny
@@ -574,18 +720,21 @@ func (rt *Runtime) step(c *coreState) {
 	// Nothing to do; wait for a wake.
 }
 
-// dispatch runs the final placement decision for t on worker c and inserts
+// dispatch runs the final placement decision for tr on worker c and inserts
 // the assembly into the AQs of the place's members.
-func (rt *Runtime) dispatch(c *coreState, t *dag.Task) {
-	pl := rt.policy.DispatchPlace(rt.ctx(c.id, t))
-	if !rt.topo.Valid(pl) {
+func (rt *Runtime) dispatch(c *coreState, tr int32) {
+	pl := rt.policy.DispatchPlace(rt.ctx(c.id, tr))
+	pid := rt.topo.PlaceID(pl)
+	if pid < 0 {
 		panic(fmt.Sprintf("simrt: policy %s produced invalid place %v", rt.policy.Name(), pl))
 	}
-	t.MarkRunning()
-	a := rt.getAssembly(t, pl)
+	if !rt.soa.static {
+		rt.soa.ptr[tr>>1].MarkRunning()
+	}
+	a := rt.getAssembly(tr, pl, int32(pid))
 	for i := 0; i < pl.Width; i++ {
 		m := rt.cores[pl.Leader+i]
-		if t.High && pl.Width == 1 {
+		if tr&1 != 0 && pl.Width == 1 {
 			// Width-1 high-priority assemblies jump the queue. They run
 			// to completion without a rendezvous, so overtaking committed
 			// assemblies cannot create a circular wait (wider assemblies
@@ -601,34 +750,38 @@ func (rt *Runtime) dispatch(c *coreState, t *dag.Task) {
 
 // getAssembly takes a pooled assembly record (or allocates the pool's
 // growth) and initializes it for one execution.
-func (rt *Runtime) getAssembly(t *dag.Task, pl topology.Place) *assembly {
+func (rt *Runtime) getAssembly(tr int32, pl topology.Place, pid int32) *assembly {
 	if n := len(rt.asmFree); n > 0 {
 		a := rt.asmFree[n-1]
 		rt.asmFree[n-1] = nil
 		rt.asmFree = rt.asmFree[:n-1]
-		*a = assembly{rt: rt, task: t, place: pl}
+		*a = assembly{rt: rt, tref: tr, place: pl, placeID: pid}
 		return a
 	}
-	return &assembly{rt: rt, task: t, place: pl}
+	return &assembly{rt: rt, tref: tr, place: pl, placeID: pid}
 }
 
 // putAssembly recycles a completed assembly. Callers guarantee no live
 // references remain: all members popped it from their AQs and cleared cur,
 // and its finish event has fired.
 func (rt *Runtime) putAssembly(a *assembly) {
-	a.task = nil
 	rt.asmFree = append(rt.asmFree, a)
 }
 
-// startAssembly runs when the last member arrives.
+// startAssembly runs when the last member arrives. The hot path touches
+// only the SoA cost slice; the task pointer is fetched solely for the cold
+// body/hook paths.
 func (rt *Runtime) startAssembly(a *assembly) {
 	a.start = rt.engine.Now()
-	if rt.cfg.RunBodies && a.task.Body != nil {
-		runBodyMembers(a.task, a.place)
+	idx := a.tref >> 1
+	if rt.cfg.RunBodies {
+		if t := rt.soa.ptr[idx]; t.Body != nil {
+			runBodyMembers(t, a.place)
+		}
 	}
 	if rt.cfg.Hook != nil {
 		delivered := false
-		handled := rt.cfg.Hook(rt, a.task, a.place, a.start, func(finish float64) {
+		handled := rt.cfg.Hook(rt, rt.soa.ptr[idx], a.place, a.start, func(finish float64) {
 			if delivered {
 				panic("simrt: exec hook delivered twice")
 			}
@@ -648,32 +801,39 @@ func (rt *Runtime) startAssembly(a *assembly) {
 		}
 	}
 	j := rt.drawJitter(a.place.Leader)
-	finish := rt.model.Duration(a.task.Cost, a.place, a.start, j)
+	t := rt.soa.ptr[idx]
+	finish := rt.model.Duration(t.Cost, a.place, a.start, j)
 	if math.IsInf(finish, 1) {
-		panic(fmt.Sprintf("simrt: task %q never finishes on %v (zero rate forever)", a.task.Label, a.place))
+		panic(fmt.Sprintf("simrt: task %q never finishes on %v (zero rate forever)", t.Label, a.place))
 	}
 	a.finish = finish
 	rt.engine.AtEvent(finish, a, evAsmDone)
 }
 
 // completeAssembly releases the members, updates the PTT with the leader's
-// observed span, records metrics, and wakes dependents.
+// observed span, records metrics, and wakes dependents. On static graphs
+// the dependency bookkeeping runs over the SoA's CSR — no graph mutex, no
+// per-completion allocation — and the dag.Graph is finalized in bulk when
+// the last task drains.
 func (rt *Runtime) completeAssembly(a *assembly, finish float64) {
 	span := finish - a.start
-	if tbl := rt.table(a.task.Type); tbl != nil {
-		tbl.Update(a.place, span)
+	idx := a.tref >> 1
+	high := a.tref&1 != 0
+	typ := rt.soa.typ[idx]
+	if tbl := rt.table(typ); tbl != nil {
+		tbl.UpdateByID(int(a.placeID), span)
 	}
-	rt.coll.TaskDone(a.place, a.task.High, a.task.Type, a.task.Iter, a.start, finish)
+	rt.coll.TaskDoneID(int(a.placeID), a.place, high, typ, rt.soa.ptr[idx].Iter, a.start, finish)
 	if rt.cfg.Trace != nil {
 		for i := 0; i < a.place.Width; i++ {
 			rt.cfg.Trace.Add(trace.Event{
-				Label:  a.task.Label,
+				Label:  rt.soa.ptr[idx].Label,
 				Core:   a.place.Leader + i,
 				Start:  a.start,
 				End:    finish,
 				Leader: a.place.Leader,
 				Width:  a.place.Width,
-				High:   a.task.High,
+				High:   high,
 			})
 		}
 	}
@@ -686,11 +846,29 @@ func (rt *Runtime) completeAssembly(a *assembly, finish float64) {
 		m.state = stScheduled
 		rt.engine.AtEvent(finish, m, evStep)
 	}
-	task, leader := a.task, a.place.Leader
+	leader := a.place.Leader
 	rt.putAssembly(a)
-	ready, drained := rt.graph.Complete(task)
+	if rt.soa.static {
+		s := &rt.soa
+		for _, si := range s.succIdx[s.succOff[idx]:s.succOff[idx+1]] {
+			if s.pending[si]--; s.pending[si] == 0 {
+				rt.wakeTask(makeTref(int(si), s.high[si]), leader)
+			}
+		}
+		if s.remaining--; s.remaining == 0 {
+			if int(rt.graph.Total()) != s.total {
+				panic("simrt: tasks added to a graph that started without completion hooks")
+			}
+			rt.graph.MarkDrained()
+			rt.finished = true
+			rt.makespan = finish
+			rt.coll.SetMakespan(finish)
+		}
+		return
+	}
+	ready, drained := rt.graph.Complete(rt.soa.ptr[idx])
 	for _, t := range ready {
-		rt.wakeTask(t, leader)
+		rt.wakeTask(rt.tref(t), leader)
 	}
 	if drained {
 		rt.finished = true

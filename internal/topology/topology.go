@@ -70,7 +70,12 @@ type Platform struct {
 	places []Place
 	// placeIndex[leader][width] = position in places, or -1.
 	placeIndex [][]int
-	maxWidth   int
+	// localPlaceIDs[core] lists the dense ids of the aligned places that
+	// contain core, one per supported width in ascending width order (so
+	// entry 0 is always the width-1 place led by core). Schedulers walk it
+	// on every dispatch decision instead of re-deriving PlaceFor per width.
+	localPlaceIDs [][]int32
+	maxWidth      int
 }
 
 // New validates the cluster list and builds a Platform. Clusters must tile
@@ -143,6 +148,16 @@ func New(clusters []Cluster) (*Platform, error) {
 			}
 		}
 		p.placeIndex[core] = row
+	}
+	p.localPlaceIDs = make([][]int32, p.nCores)
+	for core := 0; core < p.nCores; core++ {
+		c := &p.clusters[p.coreCluster[core]]
+		ids := make([]int32, len(c.Widths))
+		for i, w := range c.Widths {
+			leader := c.FirstCore + (core-c.FirstCore)/w*w
+			ids[i] = int32(p.placeIndex[leader][w])
+		}
+		p.localPlaceIDs[core] = ids
 	}
 	return p, nil
 }
@@ -220,6 +235,11 @@ func (p *Platform) PlaceFor(core, width int) (Place, bool) {
 func (p *Platform) WidthsFor(core int) []int {
 	return p.clusters[p.coreCluster[core]].Widths
 }
+
+// LocalPlaceIDs returns the dense ids of the aligned places containing
+// core, one per supported width in ascending width order; entry 0 is the
+// width-1 place (core, 1). The returned slice must not be modified.
+func (p *Platform) LocalPlaceIDs(core int) []int32 { return p.localPlaceIDs[core] }
 
 // Members returns the core ids covered by the place.
 func (p *Platform) Members(pl Place) []int {

@@ -35,15 +35,32 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Reseed returns r to the exact state New(seed) produces, so pooled
+// runtimes can reuse RNG allocations across runs with byte-identical
+// streams.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = pcgInit + seed
+	r.inc = pcgIncInit | 1
+	r.next()
+}
+
 // Split derives an independent RNG from r in a deterministic way. The child
 // stream is decorrelated from the parent by mixing the parent's next output
 // into both the state and the stream increment.
 func (r *RNG) Split() *RNG {
+	child := &RNG{}
+	r.SplitInto(child)
+	return child
+}
+
+// SplitInto is Split writing into an existing RNG, for allocation-free
+// reuse. child ends in exactly the state Split's fresh RNG would have.
+func (r *RNG) SplitInto(child *RNG) {
 	a := uint64(r.next())<<32 | uint64(r.next())
 	b := uint64(r.next())<<32 | uint64(r.next())
-	child := &RNG{state: a, inc: (b << 1) | 1}
+	child.state = a
+	child.inc = (b << 1) | 1
 	child.next()
-	return child
 }
 
 // next advances the generator and returns 32 fresh bits.

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dynasym/internal/experiments"
+	"dynasym/internal/metrics"
 	"dynasym/internal/scenario"
 	"dynasym/internal/workloads"
 )
@@ -33,6 +34,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper scale")
 		seed     = flag.Uint64("seed", 42, "base random seed")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr while a -scenario runs")
+		explain  = flag.Bool("explain", false, "with -scenario: print per-policy schedule reports (time breakdown, steal matrix, PTT convergence) after the table")
 		list     = flag.Bool("list", false, "list experiment ids and scenario families")
 	)
 	flag.Parse()
@@ -68,6 +70,7 @@ func main() {
 		}
 		spec := f.Spec(*scale)
 		spec.Seed = *seed
+		spec.Probe = *explain
 		if *progress {
 			// The engine reports (done, total) monotonically, once per
 			// finished (policy × point × rep) cell.
@@ -86,9 +89,16 @@ func main() {
 		}
 		res.WriteTable(os.Stdout)
 		fmt.Printf("(%s on %s in %.1fs)\n", *scenName, res.Topo, time.Since(start).Seconds())
+		if *explain {
+			explainResult(res)
+		}
 		if *exp == "" {
 			return
 		}
+	}
+	if *explain && *scenName == "" {
+		fmt.Fprintln(os.Stderr, "asymbench: -explain requires -scenario")
+		os.Exit(1)
 	}
 
 	ids := []string{*exp}
@@ -154,6 +164,28 @@ func run(id string, scale experiments.Scale, seed uint64) (experiments.Renderer,
 		})
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+}
+
+// explainResult prints one schedule report per policy, each merged over
+// the policy's full row of cells (every point and repetition).
+func explainResult(res *scenario.Result) {
+	for pi, pol := range res.Policies {
+		var merged *metrics.Sched
+		for xi := range res.Cells[pi] {
+			if s := res.Cells[pi][xi].Sched(); s != nil {
+				if merged == nil {
+					merged = s
+				} else {
+					merged.Merge(s)
+				}
+			}
+		}
+		if merged == nil {
+			continue
+		}
+		fmt.Printf("\n## schedule report: %s\n", pol)
+		merged.WriteReport(os.Stdout)
 	}
 }
 

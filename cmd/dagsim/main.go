@@ -59,6 +59,7 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "random seed (runtime and generator structure)")
 		alpha       = flag.Float64("alpha", 0, "PTT new-sample weight (0 = paper's 1/5)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the schedule to this file")
+		explain     = flag.Bool("explain", false, "print a schedule report: per-core time breakdown, steal matrix, queue depths, PTT convergence")
 		progress    = flag.Bool("progress", false, "report cell progress on stderr while the run executes")
 		fingerprint = flag.Bool("fingerprint", false, "print the sha256 of the run's determinism fingerprint")
 		list        = flag.Bool("list", false, "list generators, import formats and scenario families, then exit")
@@ -114,6 +115,9 @@ func main() {
 		Seed:     *seed,
 		Alpha:    *alpha,
 		Trace:    rec,
+		// A trace render wants the probe's counter lanes too, so tracing
+		// implies probing; neither changes the simulated schedule.
+		Probe: *explain || *traceOut != "",
 	}
 	if *progress {
 		spec.Progress = func(done, total int) {
@@ -145,6 +149,12 @@ func main() {
 		fmt.Printf("  %-8s %6.1f%%  (%d tasks)\n", ps.Place, ps.Frac*100, ps.Count)
 	}
 	fmt.Printf("\nsteals: %d\n", run.Steals)
+	if *explain {
+		if sched := run.Sched; sched != nil {
+			fmt.Println()
+			sched.WriteReport(os.Stdout)
+		}
+	}
 	if *fingerprint {
 		sum := sha256.Sum256([]byte(res.Fingerprint()))
 		fmt.Printf("fingerprint: %s\n", hex.EncodeToString(sum[:]))

@@ -162,6 +162,7 @@ func TestHashNormalization(t *testing.T) {
 		mut  func(*Spec)
 	}{
 		{"workers", func(s *Spec) { s.Workers = 3 }},
+		{"probe", func(s *Spec) { s.Probe = true }},
 		{"progress hook", func(s *Spec) { s.Progress = func(int, int) {} }},
 		{"reps default spelled out", func(s *Spec) {}},
 		{"synthetic defaults spelled out", func(s *Spec) {

@@ -38,10 +38,26 @@ type CellState struct {
 	// every cell after it. Reuse is pure mechanism: a reset runtime is
 	// bit-identical to a fresh one.
 	rt *simrt.Runtime
+	// probe is the worker's reusable introspection probe for probed specs;
+	// the runtime re-zeros it per cell, and flushed aggregates are deep
+	// copies, so reuse never leaks telemetry across cells.
+	probe *simrt.Probe
 }
 
 // NewCellState returns scratch state for one sweep worker.
 func NewCellState() *CellState { return &CellState{engine: sim.New()} }
+
+// probeFor returns the worker's reusable probe, or a fresh one when the
+// caller keeps no state.
+func (st *CellState) probeFor() *simrt.Probe {
+	if st == nil {
+		return simrt.NewProbe()
+	}
+	if st.probe == nil {
+		st.probe = simrt.NewProbe()
+	}
+	return st.probe
+}
 
 // engineFor returns the engine a cell should run on: the reset per-worker
 // engine, or a fresh one when the caller keeps no state.

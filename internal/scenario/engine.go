@@ -15,6 +15,7 @@ import (
 	"dynasym/internal/simnet"
 	"dynasym/internal/simrt"
 	"dynasym/internal/topology"
+	"dynasym/internal/trace"
 	"dynasym/internal/workloads"
 )
 
@@ -94,6 +95,9 @@ func Run(s Spec) (*Result, error) {
 	for i, c := range p.Cells {
 		byHash[c.Hash] = results[i]
 	}
+	if spec.Trace != nil {
+		p.mergeTraces(spec.Trace)
+	}
 	return Merge(p, byHash)
 }
 
@@ -142,8 +146,11 @@ func MustRun(s Spec) *Result {
 // runCell executes one repetition of one cell. cw, when non-nil, supplies
 // the point's compiled workload (graph instances come from its pool instead
 // of the builder); st, when non-nil, supplies the worker's reusable engine.
-// Both are pure mechanism — they never change the metrics.
-func runCell(s Spec, pol core.Policy, pt Point, seed uint64, cw *compiledWorkload, st *CellState) (RunMetrics, error) {
+// rec, when non-nil, receives the cell's schedule trace; probe, when
+// non-nil, records scheduler introspection into RunMetrics.Sched (and,
+// when rec is also set, emits queue/PTT/utilization counter lanes). All
+// four are pure mechanism — they never change the metrics.
+func runCell(s Spec, pol core.Policy, pt Point, seed uint64, cw *compiledWorkload, st *CellState, rec *trace.Recorder, probe *simrt.Probe) (RunMetrics, error) {
 	if s.Workload.Kind == HeatDist {
 		return runDistCell(s, pol, pt, seed)
 	}
@@ -170,7 +177,8 @@ func runCell(s Spec, pol core.Policy, pt Point, seed uint64, cw *compiledWorkloa
 		Policy: pol,
 		Alpha:  cellAlpha(s, pt),
 		Seed:   seed,
-		Trace:  s.Trace,
+		Trace:  rec,
+		Probe:  probe,
 		Engine: st.engineFor(),
 	}
 	var rt *simrt.Runtime
@@ -196,6 +204,10 @@ func runCell(s Spec, pol core.Policy, pt Point, seed uint64, cw *compiledWorkloa
 		return RunMetrics{}, err
 	}
 	rm := collectRun(coll, rt)
+	if probe != nil && rec != nil {
+		probe.EmitCounters(rec, 0)
+		rec.AddUtilCounters(0, rm.Makespan)
+	}
 	// Recycle the instance only after a clean run; a stalled or failed
 	// graph is dropped rather than reset.
 	if cw != nil {
@@ -383,6 +395,7 @@ func collectRun(coll *metrics.Collector, rt *simrt.Runtime) RunMetrics {
 		CoreBusy:   coll.CoreBusy(),
 		HighHist:   coll.PlaceHistogram(true),
 		Iters:      coll.IterStats(),
+		Sched:      coll.Sched(),
 	}
 	for _, st := range rt.CoreStats() {
 		rm.Steals += st.Steals

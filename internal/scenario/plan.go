@@ -22,6 +22,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+
+	"dynasym/internal/simrt"
+	"dynasym/internal/trace"
 )
 
 // CellJob identifies one cell of a plan's grid: indexes into the plan
@@ -65,6 +68,11 @@ type Plan struct {
 	// same-variant cells so a worker sweeps one graph's cells back to
 	// back (see PointVariant).
 	variant []int
+	// cellRecs holds one private trace recorder per cell when the spec
+	// traces (Spec.Trace != nil). Cells record into their own recorder so
+	// concurrent workers never interleave; mergeTraces folds them into
+	// the shared recorder deterministically after the grid drains.
+	cellRecs []*trace.Recorder
 }
 
 // NewPlan validates the spec and expands it into cell jobs.
@@ -100,8 +108,15 @@ func NewPlan(s Spec) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Spec: s, Hash: hash, Canonical: canonical, Cells: cells,
-		compiled: compiled, variant: variant}, nil
+	p := &Plan{Spec: s, Hash: hash, Canonical: canonical, Cells: cells,
+		compiled: compiled, variant: variant}
+	if s.Trace != nil && s.Workload.Kind != HeatDist {
+		p.cellRecs = make([]*trace.Recorder, len(cells))
+		for i := range p.cellRecs {
+			p.cellRecs[i] = trace.New()
+		}
+	}
+	return p, nil
 }
 
 // cellHashVersion tags the engine generation in every cell hash. Bump it
@@ -187,12 +202,74 @@ func (p *Plan) RunCellState(st *CellState, c CellJob) (RunMetrics, error) {
 	if p.compiled != nil {
 		cw = p.compiled[c.Point]
 	}
-	rm, err := runCell(p.Spec, p.Spec.Policies[c.Policy], p.Spec.Points[c.Point], c.Seed, cw, st)
+	var rec *trace.Recorder
+	if p.cellRecs != nil {
+		rec = p.cellRecs[p.cellIndex(c)]
+	}
+	var probe *simrt.Probe
+	if p.Spec.Probe && p.Spec.Workload.Kind != HeatDist {
+		probe = st.probeFor()
+	}
+	rm, err := runCell(p.Spec, p.Spec.Policies[c.Policy], p.Spec.Points[c.Point], c.Seed, cw, st, rec, probe)
 	if err != nil {
 		return RunMetrics{}, err
 	}
 	rm.Seed = c.Seed
 	return rm, nil
+}
+
+// cellIndex returns a cell's position in the plan's grid enumeration.
+func (p *Plan) cellIndex(c CellJob) int {
+	return (c.Policy*len(p.Spec.Points)+c.Point)*p.Spec.Reps + c.Rep
+}
+
+// RunCellTrace executes one cell with a private schedule recorder and
+// introspection probe, regardless of the plan spec's Trace/Probe settings.
+// Cells are pure functions of the plan and the cell coordinates, so the
+// returned trace is exactly the schedule the cell's canonical result came
+// from — whether that result was originally computed here, on a remote
+// shard, or served from a cache. The recorder holds the task slices plus
+// queue-depth, ready-task, PTT-error and per-core-utilization counter
+// lanes; the returned metrics carry the Sched aggregate.
+func (p *Plan) RunCellTrace(c CellJob) (RunMetrics, *trace.Recorder, error) {
+	if p.Spec.Workload.Kind == HeatDist {
+		return RunMetrics{}, nil, fmt.Errorf("scenario %q: sim tracing is not supported for distributed scenarios", p.Spec.Name)
+	}
+	if c.Policy < 0 || c.Policy >= len(p.Spec.Policies) || c.Point < 0 || c.Point >= len(p.Spec.Points) {
+		return RunMetrics{}, nil, fmt.Errorf("scenario %q: cell (%d,%d) outside the %dx%d grid",
+			p.Spec.Name, c.Policy, c.Point, len(p.Spec.Policies), len(p.Spec.Points))
+	}
+	var cw *compiledWorkload
+	if p.compiled != nil {
+		cw = p.compiled[c.Point]
+	}
+	rec := trace.New()
+	rm, err := runCell(p.Spec, p.Spec.Policies[c.Policy], p.Spec.Points[c.Point], c.Seed, cw, nil, rec, simrt.NewProbe())
+	if err != nil {
+		return RunMetrics{}, nil, err
+	}
+	rm.Seed = c.Seed
+	return rm, rec, nil
+}
+
+// mergeTraces folds the per-cell recorders into dst in cell-index order,
+// each cell's lanes under its own process row named by the cell label. The
+// fold is deterministic regardless of which workers ran which cells.
+func (p *Plan) mergeTraces(dst *trace.Recorder) {
+	for ci, rec := range p.cellRecs {
+		if rec == nil {
+			continue
+		}
+		dst.Group(ci, p.CellLabel(p.Cells[ci]))
+		for _, ev := range rec.Events() {
+			ev.Pid = ci
+			dst.Add(ev)
+		}
+		for _, cp := range rec.Counters() {
+			cp.Pid = ci
+			dst.AddCounter(cp)
+		}
+	}
 }
 
 // Merge assembles cell results (keyed by cell hash) into the plan's

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"dynasym/internal/core"
+	"dynasym/internal/dagio"
+	"dynasym/internal/trace"
+	"dynasym/internal/workloads"
+)
+
+// probeWorkloads enumerates one workload spec per probed kind (HeatDist is
+// excluded: probes are ignored for distributed cells).
+func probeWorkloads() map[string]WorkloadSpec {
+	return map[string]WorkloadSpec{
+		"synthetic": {Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+			Kernel: workloads.MatMul, Tasks: 300,
+		}},
+		"kmeans": {Kind: KMeans, KMeans: workloads.KMeansConfig{
+			N: 400, K: 3, Grains: 8, MaxIters: 3,
+		}},
+		"daggen": {Kind: DAGGen, DAGGen: dagio.GenConfig{
+			Model: dagio.ModelCholesky, Tiles: 5,
+		}},
+		"dagfile": {Kind: DAGFile, DAG: dagio.Demo()},
+	}
+}
+
+// The probe must be invisible in the results: a probed run's fingerprint
+// must be byte-identical to the unprobed run's, for every Table-1 policy
+// and every probed workload kind. This is the tentpole's acceptance gate —
+// telemetry describes the schedule, it must never change it.
+func TestProbeFingerprintNeutral(t *testing.T) {
+	for wname, w := range probeWorkloads() {
+		w := w
+		t.Run(wname, func(t *testing.T) {
+			t.Parallel()
+			s := Spec{
+				Name:     "probe-neutral-" + wname,
+				Platform: PlatformSpec{Preset: "tx2"},
+				Workload: w,
+				Disturb: []Disturbance{
+					{Kind: Burst, Cluster: 1, Share: 0.4, BusyDur: 0.1, IdleDur: 0.2, PhaseStep: 0.05},
+				},
+				Policies: core.All(),
+				Reps:     2,
+				Seed:     42,
+			}
+			off, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Probe = true
+			on, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fo, fn := off.Fingerprint(), on.Fingerprint(); fo != fn {
+				t.Fatalf("probe changed the schedule:\n--- probe off\n%s\n--- probe on\n%s", fo, fn)
+			}
+			// The probed run must actually carry telemetry for every cell.
+			for pi := range on.Cells {
+				for xi := range on.Cells[pi] {
+					for rep, run := range on.Cells[pi][xi].Runs {
+						if run.Sched == nil {
+							t.Fatalf("probed run %s/%s rep %d has no Sched telemetry",
+								on.Policies[pi], on.Points[xi].Label, rep)
+						}
+					}
+					if off.Cells[pi][xi].Runs[0].Sched != nil {
+						t.Fatal("unprobed run carries Sched telemetry")
+					}
+				}
+			}
+		})
+	}
+}
+
+// probeSpec is a small multi-cell grid used by the trace-merge tests.
+func probeSpec(rec *trace.Recorder) Spec {
+	return Spec{
+		Name:     "probe-trace",
+		Platform: PlatformSpec{Preset: "tx2"},
+		Workload: WorkloadSpec{Kind: Synthetic, Synthetic: workloads.SyntheticConfig{
+			Kernel: workloads.MatMul, Tasks: 200,
+		}},
+		Policies: []core.Policy{core.DAMC(), core.RWS()},
+		Points:   ParallelismPoints(2, 4),
+		Reps:     2,
+		Seed:     7,
+		Trace:    rec,
+		Probe:    true,
+	}
+}
+
+// Multi-cell tracing (the lifted single-cell restriction): every cell of a
+// 2-policy × 2-point × 2-rep grid records into the shared recorder, each
+// cell on its own process row, and the merged event stream is identical
+// across runs regardless of worker scheduling.
+func TestMultiCellTraceMergeDeterministic(t *testing.T) {
+	render := func() (string, int) {
+		rec := trace.New()
+		if _, err := Run(probeSpec(rec)); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := rec.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), rec.Len()
+	}
+	first, n1 := render()
+	second, n2 := render()
+	if n1 == 0 {
+		t.Fatal("multi-cell trace recorded no events")
+	}
+	if n1 != n2 || first != second {
+		t.Fatalf("merged trace is not deterministic (%d vs %d events)", n1, n2)
+	}
+	// Eight cells → eight process rows, each with its own name row and
+	// counter lanes from the probe.
+	for _, want := range []string{
+		`"ph":"M"`, `"ph":"X"`, `"ph":"C"`,
+		"DAM-C at P2 (rep 0)", "RWS at P4 (rep 1)",
+		"queue depth", "ready tasks", "core util",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("merged trace is missing %q", want)
+		}
+	}
+}
+
+// RunCellTrace reproduces any cell's schedule on demand — including cells
+// whose canonical result came from elsewhere — and its metrics must match
+// the cell's canonical metrics bit for bit.
+func TestRunCellTraceMatchesCanonicalRun(t *testing.T) {
+	spec := probeSpec(nil)
+	spec.Trace = nil
+	spec.Probe = false
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []CellJob{plan.Cells[0], plan.Cells[len(plan.Cells)-1]} {
+		canonical, err := plan.RunCell(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, rec, err := plan.RunCellTrace(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rm.Makespan != canonical.Makespan || rm.TasksDone != canonical.TasksDone ||
+			rm.Steals != canonical.Steals || rm.Dispatches != canonical.Dispatches {
+			t.Fatalf("traced cell diverged from canonical run: traced=%+v canonical=%+v", rm, canonical)
+		}
+		if rm.Sched == nil {
+			t.Fatal("traced cell carries no Sched telemetry")
+		}
+		if rec.Len() == 0 || len(rec.Counters()) == 0 {
+			t.Fatalf("traced cell recorded %d events, %d counter points", rec.Len(), len(rec.Counters()))
+		}
+	}
+}

@@ -33,6 +33,12 @@ type RunMetrics struct {
 	// Steals, FailedSteals and Dispatches sum the scheduler counters over
 	// all cores (and nodes).
 	Steals, FailedSteals, Dispatches int64
+	// Sched carries scheduler-introspection telemetry when the run
+	// executed with a probe (Spec.Probe); nil otherwise. It rides the
+	// shard wire format like every other field, so remote cells report
+	// too. Deliberately not part of Fingerprint: telemetry describes a
+	// run, it does not define one.
+	Sched *metrics.Sched `json:",omitempty"`
 }
 
 // Cell is one (policy, point) position of the grid with all repetitions.
@@ -62,6 +68,23 @@ func (c *Cell) MeanMakespan() float64 {
 		sum += r.Makespan
 	}
 	return sum / float64(len(c.Runs))
+}
+
+// Sched merges the repetitions' scheduler telemetry, or nil when the cell
+// ran without probes.
+func (c *Cell) Sched() *metrics.Sched {
+	var out *metrics.Sched
+	for _, r := range c.Runs {
+		if r.Sched == nil {
+			continue
+		}
+		if out == nil {
+			out = r.Sched.Clone()
+		} else {
+			out.Merge(r.Sched)
+		}
+	}
+	return out
 }
 
 // Result is the full grid of a scenario run.

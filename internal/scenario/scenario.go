@@ -314,9 +314,18 @@ type Spec struct {
 	// Latency and Bandwidth describe the interconnect for HeatDist
 	// scenarios (defaults: 2 µs, 5 GB/s).
 	Latency, Bandwidth float64
-	// Trace, when non-nil, records the schedule of the run. Only valid
-	// for single-cell specs (one policy, one point, one rep).
+	// Trace, when non-nil, records the schedule of the run. Multi-cell
+	// specs record each cell into a private per-cell recorder and merge
+	// them here in cell-index order after the grid drains, each cell under
+	// its own trace process row (not supported for HeatDist).
 	Trace *trace.Recorder
+	// Probe, when true, attaches a scheduler-introspection probe to every
+	// cell run and fills RunMetrics.Sched with the per-core time
+	// breakdown, steal matrix, queue-depth and PTT-error telemetry.
+	// Telemetry is pure observation — fingerprints are byte-identical
+	// with Probe on or off. Execution-only like Workers and Trace
+	// (CanonicalJSON and Hash ignore it); ignored for HeatDist cells.
+	Probe bool
 	// Progress, when non-nil, receives cell-completion updates from Run:
 	// once with (0, total) before execution starts, then once after every
 	// finished (policy × point × repetition) cell. Calls come from
@@ -443,9 +452,6 @@ func (s Spec) Validate() error {
 	}
 	if err := validateDisturbances(s.Name, topo, s.Disturb, nodes); err != nil {
 		return err
-	}
-	if s.Trace != nil && (len(s.Policies) > 1 || len(s.Points) > 1 || s.Reps > 1) {
-		return fmt.Errorf("scenario %q: tracing requires a single-cell spec (one policy, one point, one rep)", s.Name)
 	}
 	if s.Trace != nil && s.Workload.Kind == HeatDist {
 		return fmt.Errorf("scenario %q: tracing is not supported for distributed scenarios", s.Name)

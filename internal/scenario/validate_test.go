@@ -64,10 +64,6 @@ func TestValidateErrors(t *testing.T) {
 			s.Workload = WorkloadSpec{Kind: KMeans}
 			s.Points = []Point{{Label: "x", Parallelism: 2}}
 		}, "graph-shape fields"},
-		{"trace on multi-cell", func(s *Spec) {
-			s.Trace = trace.New()
-			s.Policies = []core.Policy{core.DAMC(), core.RWS()}
-		}, "single-cell"},
 		{"trace on distributed", func(s *Spec) {
 			s.Trace = trace.New()
 			s.Workload = WorkloadSpec{Kind: HeatDist}

@@ -12,6 +12,12 @@ package service
 //	GET  /v1/families        → 200 [{name, desc}], sorted by name
 //	GET  /v1/healthz         → 200 {ok, stats, peers: per-peer breaker state}
 //	GET  /v1/jobs/{id}/trace → 200 Chrome-trace JSON (load in Perfetto)
+//	GET  /v1/jobs/{id}/cells/{i}/simtrace
+//	                         → 200 sim-time Chrome trace of plan cell i:
+//	                         task slices plus queue-depth/ready/PTT-error/
+//	                         core-utilization counter lanes, rendered by
+//	                         deterministic re-execution (works for cells
+//	                         that originally ran on a remote shard)
 //	GET  /metrics            → 200 Prometheus text exposition
 //	GET  /debug/pprof/*      net/http/pprof (only with Config.EnablePprof)
 //	POST /v1/shards          worker-facing: run a batch of plan cells
@@ -42,6 +48,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"dynasym/internal/scenario"
@@ -93,6 +100,7 @@ func (m *Manager) Handler(logger *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /v1/jobs", m.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", m.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/cells/{i}/simtrace", m.handleSimTrace)
 	mux.HandleFunc("GET /v1/results/{hash}", m.handleResult)
 	mux.HandleFunc("POST /v1/shards", m.handleShards)
 	if !m.cfg.DisableMetrics {
@@ -195,6 +203,29 @@ func (m *Manager) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = spans.WriteChromeTrace(w)
+}
+
+// handleSimTrace exports the simulated schedule of one plan cell as
+// Chrome-trace JSON (see Manager.SimTrace). The cell index enumerates the
+// plan's grid policy-major, then point, then repetition.
+func (m *Manager) handleSimTrace(w http.ResponseWriter, r *http.Request) {
+	cell, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad cell index %q", r.PathValue("i")))
+		return
+	}
+	b, err := m.SimTrace(r.PathValue("id"), cell)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dynasym/internal/obs"
+	"dynasym/internal/scenario"
 	"dynasym/internal/trace"
 )
 
@@ -55,6 +56,16 @@ type serviceMetrics struct {
 	shardFailovers   *obs.Counter
 
 	traceSpansDropped *obs.Counter
+
+	// Sim-level telemetry: scheduler activity inside the simulated runs
+	// this node banked into its cell cache (local pool runs and shard
+	// results landing from peers alike). All virtual-time quantities.
+	simTasks        *obs.Counter
+	simSteals       *obs.Counter
+	simDispatches   *obs.Counter
+	simMakespanSec  *obs.Histogram
+	simCoreUtil     *obs.Histogram
+	simtraceRenders *obs.Counter
 }
 
 // Histogram ladders: cells run µs–minutes, jobs ms–tens of minutes, the
@@ -64,6 +75,11 @@ var (
 	cellSecBuckets = obs.ExpBuckets(1e-4, 10, 7) // 100µs .. 100s
 	jobSecBuckets  = obs.ExpBuckets(1e-3, 10, 7) // 1ms .. 1000s
 	rttSecBuckets  = obs.ExpBuckets(1e-3, 10, 6) // 1ms .. 100s
+	// Virtual-time makespans of simulated cells: µs-scale toy graphs up
+	// to minutes-scale paper sweeps.
+	simMakespanBuckets = obs.ExpBuckets(1e-5, 10, 8) // 10µs .. 1000s (virtual)
+	// Per-core utilization is a fraction of the makespan.
+	simUtilBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
 )
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
@@ -92,6 +108,26 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		shardFailovers:   reg.Counter("asymd_shard_failovers_total", "Failed shard attempts that moved the shard to another backend or round."),
 
 		traceSpansDropped: reg.Counter("asymd_trace_spans_dropped_total", "Service-trace spans dropped by the per-job retention cap."),
+
+		simTasks:        reg.Counter("asymd_sim_tasks_total", "Simulated task executions inside cells banked by this node."),
+		simSteals:       reg.Counter("asymd_sim_steals_total", "Simulated work steals inside cells banked by this node."),
+		simDispatches:   reg.Counter("asymd_sim_dispatches_total", "Simulated assembly dispatches inside cells banked by this node."),
+		simMakespanSec:  reg.Histogram("asymd_sim_makespan_seconds", "Virtual-time makespan of cells banked by this node.", simMakespanBuckets),
+		simCoreUtil:     reg.Histogram("asymd_sim_core_utilization", "Per-core busy fraction of the makespan, one sample per simulated core per banked cell.", simUtilBuckets),
+		simtraceRenders: reg.Counter("asymd_simtrace_renders_total", "Per-cell sim-time traces rendered by re-execution (cache hits excluded)."),
+	}
+}
+
+// observeSim records one banked cell's simulated scheduler activity.
+func (mx *serviceMetrics) observeSim(rm scenario.RunMetrics) {
+	mx.simTasks.Add(rm.TasksDone)
+	mx.simSteals.Add(rm.Steals)
+	mx.simDispatches.Add(rm.Dispatches)
+	mx.simMakespanSec.Observe(rm.Makespan)
+	if rm.Makespan > 0 {
+		for _, busy := range rm.CoreBusy {
+			mx.simCoreUtil.Observe(busy / rm.Makespan)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -317,7 +318,11 @@ type Manager struct {
 	pending  map[string]*pendingCell        // cells being simulated, by cell hash
 	plans    *lruCache[*scenario.Plan]      // memoized plans, by spec hash (shard API)
 	traces   *lruCache[*trace.SpanSet]      // finished job traces, by spec hash (nil = tracing off)
-	closed   bool
+	// simtraces caches rendered per-cell sim-time Chrome traces by cell
+	// hash. Gated with traces: a deployment that disables trace retention
+	// disables sim tracing too.
+	simtraces *lruCache[[]byte]
+	closed    bool
 
 	wg   sync.WaitGroup // running job goroutines
 	runs atomic.Int64   // jobs actually executed (not absorbed)
@@ -349,6 +354,7 @@ func NewManager(cfg Config) *Manager {
 	}
 	if cfg.TraceRetention > 0 {
 		m.traces = newLRUCache[*trace.SpanSet](cfg.TraceRetention)
+		m.simtraces = newLRUCache[[]byte](cfg.TraceRetention)
 	}
 	mx.poolWorkers.Set(int64(cfg.Workers))
 	local.busy = mx.poolBusy
@@ -389,9 +395,12 @@ func (m *Manager) Submit(spec scenario.Spec) (job *Job, existing bool, err error
 // the ID rides the job into worker shard requests and log lines.
 func (m *Manager) submit(spec scenario.Spec, reqID string) (job *Job, existing bool, err error) {
 	// Strip execution-only fields: the service owns pool sizing and
-	// observation, and the hash ignores them anyway.
+	// observation, and the hash ignores them anyway. Probe is stripped
+	// too — per-cell sim traces are served on demand by re-execution
+	// (SimTrace), not by probing every banked cell.
 	spec.Workers = 0
 	spec.Trace = nil
+	spec.Probe = false
 	spec.Progress = nil
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
@@ -525,6 +534,61 @@ func (m *Manager) JobTrace(hash string) (*trace.SpanSet, bool) {
 		return nil, false
 	}
 	return m.traces.Get(hash)
+}
+
+// ErrUnknownJob reports a job ID the manager does not know (evicted or
+// never submitted); the HTTP layer maps it to 404.
+var ErrUnknownJob = errors.New("unknown job (evicted or never submitted)")
+
+// ErrSimTraceDisabled reports that trace retention — and with it sim
+// tracing — is disabled on this node.
+var ErrSimTraceDisabled = errors.New("sim tracing disabled (trace retention < 0)")
+
+// SimTrace renders the sim-time schedule trace of one cell of a job as
+// Chrome-trace JSON: task slices plus queue-depth, ready-task, PTT-error
+// and per-core-utilization counter lanes. The cell is re-executed locally
+// with a private recorder and probe — cells are pure functions of the
+// plan and the cell coordinates, so the rendered schedule is exactly the
+// one behind the cell's canonical result even when the result itself was
+// computed on a remote shard or served from cache. Rendered bytes are
+// cached by cell hash.
+func (m *Manager) SimTrace(id string, cell int) ([]byte, error) {
+	if m.simtraces == nil {
+		return nil, ErrSimTraceDisabled
+	}
+	j, ok := m.Job(id)
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	plan, err := m.planFor(j.Hash, j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if cell < 0 || cell >= len(plan.Cells) {
+		return nil, fmt.Errorf("cell %d outside the %d-cell grid", cell, len(plan.Cells))
+	}
+	c := plan.Cells[cell]
+	m.mu.Lock()
+	b, ok := m.simtraces.Get(c.Hash)
+	m.mu.Unlock()
+	if ok {
+		return b, nil
+	}
+	rm, rec, err := plan.RunCellTrace(c)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		return nil, err
+	}
+	b = buf.Bytes()
+	m.mu.Lock()
+	m.simtraces.Add(c.Hash, b)
+	m.mu.Unlock()
+	m.mx.simtraceRenders.Inc()
+	_ = rm // the render is the product; the metrics were already banked
+	return b, nil
 }
 
 // Registry exposes the node's metric registry (the /metrics content);
@@ -832,10 +896,18 @@ func (m *Manager) probeCells(cells []scenario.CellJob) (cached map[string]scenar
 func (m *Manager) bankCells(crs []CellResult) {
 	m.mu.Lock()
 	var resolved []*pendingCell
+	var fresh []scenario.RunMetrics
 	evicted := int64(0)
 	for _, cr := range crs {
 		if cr.Err != nil {
 			continue
+		}
+		// A cell entering the cache for the first time reports its
+		// simulated scheduler activity (observed below, outside the lock);
+		// re-banking the same cell — a retried shard re-landing its
+		// partials — must not double-count.
+		if _, seen := m.cells.Peek(cr.Hash); !seen {
+			fresh = append(fresh, cr.Metrics)
 		}
 		evicted += int64(m.cells.Add(cr.Hash, cr.Metrics))
 		if p, ok := m.pending[cr.Hash]; ok {
@@ -848,6 +920,11 @@ func (m *Manager) bankCells(crs []CellResult) {
 	m.mx.cellEvict.Add(evicted)
 	for _, p := range resolved {
 		close(p.done)
+	}
+	// Sim-level telemetry: every banked cell counts, whether it ran on the
+	// local pool or landed from a remote shard.
+	for _, rm := range fresh {
+		m.mx.observeSim(rm)
 	}
 }
 

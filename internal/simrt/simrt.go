@@ -97,6 +97,12 @@ type Config struct {
 	// Trace, when non-nil, records every task execution for post-mortem
 	// visualization (see internal/trace).
 	Trace *trace.Recorder
+	// Probe, when non-nil, records scheduler introspection — per-core time
+	// breakdown, the steal matrix, queue-depth samples, PTT
+	// prediction-vs-actual error (see probe.go). Pure observation: a
+	// probed run is bit-identical to an unprobed one, and a nil Probe
+	// costs one pointer check per hook site.
+	Probe *Probe
 
 	// DispatchCost is the virtual time a worker spends per dispatch
 	// (dequeue + placement decision + AQ insertion). Default 0.2 µs.
@@ -303,6 +309,9 @@ func New(cfg Config) (*Runtime, error) {
 	rt.loadFn = rt.loadEstimate
 	rt.ctxScratch = core.Context{Topo: rt.topo, RR: &rt.rr, Load: rt.loadFn}
 	rt.buildCores()
+	if cfg.Probe != nil {
+		cfg.Probe.reset(len(rt.cores))
+	}
 	return rt, nil
 }
 
@@ -422,6 +431,9 @@ func (rt *Runtime) Reset(cfg Config) error {
 	rt.graph = nil
 	rt.finished = false
 	rt.makespan = 0
+	if cfg.Probe != nil {
+		cfg.Probe.reset(len(rt.cores))
+	}
 	return nil
 }
 
@@ -544,6 +556,9 @@ func (rt *Runtime) Start(g *dag.Graph) error {
 	if g.Outstanding() == 0 {
 		rt.finished = true
 		rt.coll.SetMakespan(0)
+		if p := rt.cfg.Probe; p != nil {
+			p.flushTo(rt.coll, 0)
+		}
 		return nil
 	}
 	for _, c := range rt.cores {
@@ -628,6 +643,9 @@ func (rt *Runtime) wakeTask(tr int32, waker int) {
 	target := rt.cores[leader]
 	target.wsq.PushBottom(tr)
 	rt.updateWSQBits(target)
+	if p := rt.cfg.Probe; p != nil {
+		p.queueDelta(rt.engine.Now(), 1, 0)
+	}
 	rt.scheduleStep(target, rt.cfg.WakeLatency)
 	if tr&1 == 0 || rt.prioSteal {
 		// Idle workers discover remote work by polling, with a per-core
@@ -661,6 +679,10 @@ func (rt *Runtime) step(c *coreState) {
 	if !rt.prioSteal {
 		if t, ok := c.wsq.PopHigh(); ok {
 			rt.updateWSQBits(c)
+			if p := rt.cfg.Probe; p != nil {
+				p.queueDelta(rt.engine.Now(), -1, 0)
+				p.dispatched(c.id, rt.cfg.DispatchCost)
+			}
 			rt.dispatch(c, t)
 			c.dispatches++
 			rt.engine.AfterEvent(rt.cfg.DispatchCost, c, evStep)
@@ -670,6 +692,9 @@ func (rt *Runtime) step(c *coreState) {
 
 	// 1. Committed assemblies first: another worker may be waiting on us.
 	if a := c.aq.PopFront(); a != nil {
+		if p := rt.cfg.Probe; p != nil {
+			p.queueDelta(rt.engine.Now(), 0, -1)
+		}
 		c.state = stBusy
 		c.cur = a
 		a.arrived++
@@ -683,6 +708,10 @@ func (rt *Runtime) step(c *coreState) {
 	// tasks first; the RWS family is priority-oblivious.
 	if t, ok := c.wsq.PopBottom(!rt.prioSteal); ok {
 		rt.updateWSQBits(c)
+		if p := rt.cfg.Probe; p != nil {
+			p.queueDelta(rt.engine.Now(), -1, 0)
+			p.dispatched(c.id, rt.cfg.DispatchCost)
+		}
 		rt.dispatch(c, t)
 		c.dispatches++
 		rt.engine.AfterEvent(rt.cfg.DispatchCost, c, evStep)
@@ -710,6 +739,10 @@ func (rt *Runtime) step(c *coreState) {
 		}
 		rt.updateWSQBits(v)
 		c.steals++
+		if p := rt.cfg.Probe; p != nil {
+			p.queueDelta(rt.engine.Now(), -1, 0)
+			p.stole(v.id, c.id, t&1 != 0, rt.cfg.StealCost)
+		}
 		rt.dispatch(c, t)
 		rt.engine.AfterEvent(rt.cfg.StealCost, c, evStep)
 		return
@@ -745,6 +778,9 @@ func (rt *Runtime) dispatch(c *coreState, tr int32) {
 			m.aq.PushBack(a)
 		}
 		rt.scheduleStep(m, rt.cfg.WakeLatency)
+	}
+	if p := rt.cfg.Probe; p != nil {
+		p.queueDelta(rt.engine.Now(), 0, pl.Width)
 	}
 }
 
@@ -821,6 +857,11 @@ func (rt *Runtime) completeAssembly(a *assembly, finish float64) {
 	high := a.tref&1 != 0
 	typ := rt.soa.typ[idx]
 	if tbl := rt.table(typ); tbl != nil {
+		if p := rt.cfg.Probe; p != nil {
+			// The table's estimate before this observation folds in is the
+			// prediction the dispatch decision would have seen.
+			p.pttObserve(finish, a.placeID, int32(typ), tbl.ValueByID(int(a.placeID)), span)
+		}
 		tbl.UpdateByID(int(a.placeID), span)
 	}
 	rt.coll.TaskDoneID(int(a.placeID), a.place, high, typ, rt.soa.ptr[idx].Iter, a.start, finish)
@@ -863,6 +904,9 @@ func (rt *Runtime) completeAssembly(a *assembly, finish float64) {
 			rt.finished = true
 			rt.makespan = finish
 			rt.coll.SetMakespan(finish)
+			if p := rt.cfg.Probe; p != nil {
+				p.flushTo(rt.coll, finish)
+			}
 		}
 		return
 	}
@@ -874,6 +918,9 @@ func (rt *Runtime) completeAssembly(a *assembly, finish float64) {
 		rt.finished = true
 		rt.makespan = finish
 		rt.coll.SetMakespan(finish)
+		if p := rt.cfg.Probe; p != nil {
+			p.flushTo(rt.coll, finish)
+		}
 	}
 }
 

@@ -118,22 +118,30 @@ func (s *SpanSet) WriteChromeTrace(w io.Writer) error {
 			laneNames = append(laneNames, sp.Lane)
 		}
 	}
-	out := make([]chromeEvent, 0, len(spans)+len(laneNames))
+	cw := newChromeWriter(w)
 	for i, name := range laneNames {
-		out = append(out, chromeEvent{
-			Name: "thread_name",
-			Ph:   "M",
-			Pid:  0,
-			Tid:  i,
-			Args: map[string]string{"name": name},
-		})
+		args, err := jsonNameArgs(name)
+		if err != nil {
+			return err
+		}
+		if err := cw.emit(&chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: i, Args: args}); err != nil {
+			return err
+		}
 	}
 	for _, sp := range spans {
 		cat := sp.Cat
 		if cat == "" {
 			cat = "span"
 		}
-		out = append(out, chromeEvent{
+		var args json.RawMessage
+		if len(sp.Args) > 0 {
+			b, err := json.Marshal(sp.Args)
+			if err != nil {
+				return err
+			}
+			args = b
+		}
+		if err := cw.emit(&chromeEvent{
 			Name: sp.Name,
 			Cat:  cat,
 			Ph:   "X",
@@ -141,9 +149,10 @@ func (s *SpanSet) WriteChromeTrace(w io.Writer) error {
 			Dur:  float64(sp.End-sp.Start) / float64(time.Microsecond),
 			Pid:  0,
 			Tid:  lanes[sp.Lane],
-			Args: sp.Args,
-		})
+			Args: args,
+		}); err != nil {
+			return err
+		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return cw.close()
 }

@@ -70,6 +70,105 @@ func TestUtilization(t *testing.T) {
 	}
 }
 
+// The lazy sort must invalidate on Add: an event added after a read still
+// lands in order on the next read.
+func TestLazySortInvalidatesOnAdd(t *testing.T) {
+	r := New()
+	r.Add(Event{Label: "c", Start: 3, End: 4})
+	r.Add(Event{Label: "a", Start: 1, End: 2})
+	if evs := r.Events(); evs[0].Label != "a" {
+		t.Fatalf("first read unsorted: %+v", evs)
+	}
+	r.Add(Event{Label: "b", Start: 2, End: 3})
+	evs := r.Events()
+	if evs[0].Label != "a" || evs[1].Label != "b" || evs[2].Label != "c" {
+		t.Fatalf("post-Add read unsorted: %+v", evs)
+	}
+	// Returned slices are copies: mutating one must not corrupt the next.
+	evs[0].Label = "mutated"
+	if r.Events()[0].Label != "a" {
+		t.Fatal("Events returned an aliased slice")
+	}
+}
+
+// Counter samples and process groups must stream as valid Chrome JSON:
+// "C" events with per-series args next to the "X" slices, and "M"
+// process_name metadata for named groups.
+func TestChromeTraceCountersAndGroups(t *testing.T) {
+	r := New()
+	r.Group(0, "cell A")
+	r.Group(1, "cell B")
+	r.Add(Event{Label: "t", Pid: 0, Core: 0, Start: 0, End: 0.001})
+	r.Add(Event{Label: "t", Pid: 1, Core: 0, Start: 0, End: 0.002})
+	r.AddCounter(CounterPoint{Name: "queue depth", Pid: 0, At: 0.0005, Series: []CounterValue{
+		{Key: "wsq", Value: 3}, {Key: "aq", Value: 1},
+	}})
+	r.AddCounter(CounterPoint{Name: "ready tasks", Pid: 1, At: 0.001, Series: []CounterValue{
+		{Key: "ready", Value: 7},
+	}})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	byPhase := map[string][]map[string]any{}
+	for _, ev := range out {
+		ph := ev["ph"].(string)
+		byPhase[ph] = append(byPhase[ph], ev)
+	}
+	if len(byPhase["M"]) != 2 || len(byPhase["X"]) != 2 || len(byPhase["C"]) != 2 {
+		t.Fatalf("phases: M=%d X=%d C=%d, want 2 each", len(byPhase["M"]), len(byPhase["X"]), len(byPhase["C"]))
+	}
+	meta := byPhase["M"][0]
+	if meta["name"] != "process_name" || meta["args"].(map[string]any)["name"] != "cell A" {
+		t.Fatalf("metadata = %v", meta)
+	}
+	c0 := byPhase["C"][0]
+	if c0["name"] != "queue depth" || c0["pid"].(float64) != 0 {
+		t.Fatalf("counter = %v", c0)
+	}
+	args := c0["args"].(map[string]any)
+	if args["wsq"].(float64) != 3 || args["aq"].(float64) != 1 {
+		t.Fatalf("counter args = %v", args)
+	}
+	if ts := c0["ts"].(float64); ts < 499 || ts > 501 {
+		t.Fatalf("counter ts = %v µs", ts)
+	}
+}
+
+// AddUtilCounters derives the per-core utilization lane from the task
+// slices of one process row.
+func TestAddUtilCounters(t *testing.T) {
+	r := New()
+	r.Add(Event{Pid: 0, Core: 0, Start: 0, End: 1})
+	r.Add(Event{Pid: 0, Core: 1, Start: 0, End: 0.5})
+	r.Add(Event{Pid: 1, Core: 0, Start: 0, End: 1}) // other row: excluded
+	r.AddUtilCounters(0, 1)
+	var util []CounterPoint
+	for _, cp := range r.Counters() {
+		if cp.Name == "core util" {
+			if cp.Pid != 0 {
+				t.Fatalf("util lane on pid %d, want 0", cp.Pid)
+			}
+			util = append(util, cp)
+		}
+	}
+	if len(util) == 0 {
+		t.Fatal("no utilization lane derived")
+	}
+	// Core 0 is busy the whole horizon: every window's c0 series is 1.
+	for _, cp := range util {
+		for _, cv := range cp.Series {
+			if cv.Key == "c0" && (cv.Value < 0.99 || cv.Value > 1.01) {
+				t.Fatalf("c0 utilization %v at %v, want 1", cv.Value, cp.At)
+			}
+		}
+	}
+}
+
 func TestConcurrentAdd(t *testing.T) {
 	r := New()
 	var wg sync.WaitGroup

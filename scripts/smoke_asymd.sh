@@ -6,8 +6,10 @@
 #     a warm-cache resubmit;
 #  2. two nodes: start a worker and a coordinator peered to it
 #     (-peers, -shard 1), submit a raw multi-cell spec, assert the worker
-#     simulated shards, then resubmit the spec plus one extra sweep point
-#     and assert the delta job reports cell-cache hits;
+#     simulated shards, fetch a per-cell sim-time trace from the
+#     coordinator (counter + task events, despite the cell having run
+#     remotely), then resubmit the spec plus one extra sweep point and
+#     assert the delta job reports cell-cache hits;
 #  3. chaos: coordinator + two workers, SIGKILL one worker mid-sweep,
 #     assert the job still completes with the exact fingerprint an
 #     undisturbed single-node run produces, the dead peer is reported
@@ -197,6 +199,21 @@ done
 WRUNS="$(curl -fsS "http://$WADDR/v1/healthz" | sed -n 's/.*"cell_runs": \([0-9]*\).*/\1/p')"
 [ -n "$WRUNS" ] && [ "$WRUNS" -ge 1 ] || { echo "worker simulated $WRUNS cells, want >= 1"; exit 1; }
 echo "worker simulated $WRUNS cells"
+
+# Per-cell sim-time traces work for sharded jobs: the coordinator renders
+# any cell's schedule by deterministic re-execution, even though the cell
+# itself was simulated on the worker. The trace must carry both task
+# slices ("X") and the probe's counter lanes ("C").
+SIMTRACE="$(curl -fsS "$COORD/v1/jobs/$JOB2/cells/0/simtrace")"
+printf '%s' "$SIMTRACE" | grep -q '"ph":"X"' \
+	|| { echo "simtrace has no task slices"; exit 1; }
+printf '%s' "$SIMTRACE" | grep -q '"ph":"C"' \
+	|| { echo "simtrace has no counter events"; exit 1; }
+printf '%s' "$SIMTRACE" | grep -q '"name":"queue depth"' \
+	|| { echo "simtrace has no queue-depth lane"; exit 1; }
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' "$COORD/v1/jobs/$JOB2/cells/9999/simtrace")"
+[ "$CODE" = "400" ] || { echo "out-of-grid simtrace cell returned $CODE, want 400"; exit 1; }
+echo "simtrace OK: sharded cell 0 renders task + counter events"
 
 # Resubmit the spec plus one extra sweep point: a NEW job (different spec
 # hash) that must assemble the old cells from the coordinator's cell cache
